@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures.
+
+Workloads are built once per session; each bench times its own
+experiment run and asserts the paper's qualitative claims on the
+result.  Paper-vs-measured rows are printed so ``pytest benchmarks/
+--benchmark-only -s`` regenerates the tables of EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core.system import default_training_dataset
+from repro.experiments.datasets import corridor_dataset
+
+
+@pytest.fixture(scope="session")
+def scenario_training_dataset():
+    """Training data for the testbed scenarios (Fig. 6a-6d)."""
+    return default_training_dataset(seed=11, n_cars=80)
+
+
+@pytest.fixture(scope="session")
+def model_dataset():
+    """The standard corridor dataset for model-quality experiments."""
+    return corridor_dataset()
+
+
+@pytest.fixture(scope="session")
+def city_network():
+    from repro.experiments.deployment import build_city
+
+    return build_city(seed=3)

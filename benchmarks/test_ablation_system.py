@@ -1,0 +1,90 @@
+"""Ablations of the online pipeline's timing and link choices.
+
+Claims asserted:
+
+- micro-batch interval: end-to-end latency grows with the interval;
+  the paper's 50 ms keeps e2e under the 50 ms budget while 200 ms
+  blows through it (the choice is load-bearing);
+- consumer poll interval: dissemination latency grows with the poll
+  period; the paper's 10 ms keeps it near the Fig. 6b range;
+- collaboration link (Sec. VII-D): wired < 5G < LTE for CO-DATA
+  delivery, with 5G fast enough to substitute for wire where distance
+  requires it.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_batch_interval,
+    ablate_collaboration_link,
+    ablate_packet_loss,
+    ablate_poll_interval,
+    format_ablation,
+)
+
+
+def test_ablation_batch_interval(benchmark, scenario_training_dataset):
+    points = benchmark.pedantic(
+        lambda: ablate_batch_interval(dataset=scenario_training_dataset),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_ablation(points))
+    latencies = [point.value for point in points]
+    # Monotonic growth with the batch interval.
+    assert latencies == sorted(latencies)
+    by_interval = {point.setting: point.value for point in points}
+    # The paper's 50 ms choice meets the 50 ms budget...
+    assert by_interval["batch_interval=50ms"] < 55.0
+    # ...while 200 ms batches cannot.
+    assert by_interval["batch_interval=200ms"] > 100.0
+
+
+def test_ablation_poll_interval(benchmark, scenario_training_dataset):
+    points = benchmark.pedantic(
+        lambda: ablate_poll_interval(dataset=scenario_training_dataset),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_ablation(points))
+    latencies = [point.value for point in points]
+    assert latencies == sorted(latencies)
+    by_interval = {point.setting: point.value for point in points}
+    # The paper's 10 ms poll keeps dissemination in the Fig. 6b range.
+    assert by_interval["poll_interval=10ms"] < 20.0
+    # A lazy 50 ms poll roughly triples it.
+    assert by_interval["poll_interval=50ms"] > 2 * by_interval[
+        "poll_interval=10ms"
+    ]
+
+
+def test_ablation_packet_loss(benchmark, scenario_training_dataset):
+    points = benchmark.pedantic(
+        lambda: ablate_packet_loss(dataset=scenario_training_dataset),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_ablation(points))
+    ratios = {point.setting: point.value for point in points}
+    # Lossless channel delivers everything the RSU could batch.
+    assert ratios["loss=0%"] > 0.99
+    # Delivery tracks (1 - loss); broadcast frames are unacknowledged.
+    assert ratios["loss=15%"] == pytest.approx(0.85, abs=0.04)
+    assert ratios["loss=30%"] == pytest.approx(0.70, abs=0.04)
+    # Monotone degradation.
+    values = [point.value for point in points]
+    assert values == sorted(values, reverse=True)
+
+
+def test_ablation_collaboration_link(benchmark):
+    points = benchmark.pedantic(
+        ablate_collaboration_link, rounds=1, iterations=1
+    )
+    print("\n" + format_ablation(points))
+    by_name = {point.setting: point.value for point in points}
+    # Wired < 5G < LTE, as Sec. VII-D argues.
+    assert by_name["wired"] < by_name["5g"] < by_name["lte"]
+    # 5G is URLLC-fast: single-digit ms, viable for CO-DATA.
+    assert by_name["5g"] < 10.0
+    # LTE costs tens of ms — usable but visibly worse.
+    assert 10.0 < by_name["lte"] < 60.0

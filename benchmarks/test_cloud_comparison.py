@@ -1,0 +1,42 @@
+"""Sec. VII-A: CAD3 vs. a QF-COTE-style cloud-offloaded baseline.
+
+Paper claim reproduced here: "QF-COTE is an MEC system that detects
+road anomalies in over 300 ms, using the cloud for inter-node
+collaboration.  In comparison, by distributing the collaboration
+directly at the edge, we can achieve a latency as low as 50 ms."
+
+The baseline ships every micro-batch over a WAN hop to an elastic
+cloud backend and returns warnings the same way; with a typical 120 ms
+one-way WAN latency its end-to-end lands in the paper's >300 ms
+regime, while the edge pipeline stays under 50 ms on the same
+workload.
+"""
+
+from repro.core import ScenarioConfig, TestbedScenario
+
+
+def test_cloud_offload_comparison(benchmark, scenario_training_dataset):
+    def run():
+        config = ScenarioConfig(n_vehicles=64, duration_s=4.0, seed=7)
+        edge = TestbedScenario.single_rsu(
+            config, dataset=scenario_training_dataset
+        ).run()
+        cloud = TestbedScenario.single_rsu_cloud(
+            config, dataset=scenario_training_dataset
+        ).run()
+        return edge, cloud
+
+    edge, cloud = benchmark.pedantic(run, rounds=1, iterations=1)
+    edge_ms = edge.mean_e2e_ms()
+    cloud_ms = cloud.mean_e2e_ms()
+    print(f"\nedge (CAD3)    e2e = {edge_ms:6.1f} ms")
+    print(f"cloud (QF-COTE-style) e2e = {cloud_ms:6.1f} ms")
+    print(f"speedup: {cloud_ms / edge_ms:.1f}x")
+
+    # The paper's two anchors: edge under 50 ms, cloud over 300 ms.
+    assert edge_ms < 55.0
+    assert cloud_ms > 300.0
+
+    # Same workload, same detection: only the architecture differs.
+    assert cloud.total_bandwidth_bps() > 0
+    assert edge_ms < cloud_ms / 5

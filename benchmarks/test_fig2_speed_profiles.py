@@ -1,0 +1,44 @@
+"""Fig. 2: speed profiles of motorway vs. motorway-link roads.
+
+Paper claims reproduced here:
+- the motorway profile sits above the motorway-link profile at every
+  hour;
+- weekday profiles dip at the 7-9 h and 17-19 h rush hours;
+- weekend profiles are flatter than weekday profiles.
+"""
+
+import math
+
+from repro.experiments.profiles import fig2_speed_profiles
+from repro.geo import RoadType
+
+
+def test_fig2_speed_profiles(benchmark, model_dataset):
+    result = benchmark.pedantic(
+        lambda: fig2_speed_profiles(model_dataset.records),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format_table())
+
+    motorway = result.get(RoadType.MOTORWAY, weekend=False).hourly_mean_kmh
+    link = result.get(RoadType.MOTORWAY_LINK, weekend=False).hourly_mean_kmh
+
+    # Motorway faster than link wherever both observed.
+    for hour in range(24):
+        if not math.isnan(motorway[hour]) and not math.isnan(link[hour]):
+            assert motorway[hour] > link[hour]
+
+    # Weekday rush-hour dip: 8 h slower than 12 h (both well sampled).
+    assert motorway[8] < motorway[12]
+
+    # Weekend flatter than weekday (range over common, well-sampled
+    # daytime hours).
+    weekend = result.get(RoadType.MOTORWAY, weekend=True).hourly_mean_kmh
+    day = range(6, 22)
+    weekday_vals = [motorway[h] for h in day if not math.isnan(motorway[h])]
+    weekend_vals = [weekend[h] for h in day if not math.isnan(weekend[h])]
+    assert weekday_vals and weekend_vals
+    weekday_range = max(weekday_vals) - min(weekday_vals)
+    weekend_range = max(weekend_vals) - min(weekend_vals)
+    assert weekend_range < weekday_range

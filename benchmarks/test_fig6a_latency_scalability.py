@@ -1,0 +1,44 @@
+"""Fig. 6a: Tx / processing / total latency vs. number of vehicles.
+
+Paper claims reproduced here:
+- total end-to-end latency stays below 50 ms from 8 up to 256 vehicles
+  (paper: 39.7 -> 48.1 ms; our simulated testbed: ~46-50 ms);
+- processing time grows from ~7.3 ms to ~11.7 ms;
+- the total grows by less than ~10 ms across the whole sweep.
+"""
+
+import pytest
+
+from repro.experiments.latency import fig6a_latency_sweep, format_fig6a
+
+VEHICLE_COUNTS = (8, 16, 32, 64, 128, 256)
+
+
+def test_fig6a_latency_scalability(benchmark, scenario_training_dataset):
+    sweep = benchmark.pedantic(
+        lambda: fig6a_latency_sweep(
+            VEHICLE_COUNTS, duration_s=5.0, dataset=scenario_training_dataset
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_fig6a(sweep))
+
+    # Total latency under ~50 ms everywhere (5 ms headroom for the
+    # simulated consumer jitter).
+    for row in sweep:
+        assert row.total_ms < 55.0, f"{row.n_vehicles} vehicles: {row.total_ms}"
+
+    # Processing grows with vehicles, in the paper's 7.3-11.7 ms band.
+    first, last = sweep[0], sweep[-1]
+    assert first.processing_ms == pytest.approx(7.3, abs=1.5)
+    assert last.processing_ms == pytest.approx(11.7, abs=2.0)
+    assert last.processing_ms > first.processing_ms
+
+    # The total grows only slightly (paper: < 10 ms across the sweep).
+    assert last.total_ms - first.total_ms < 12.0
+
+    # Tx latency is a small component and grows with contention.
+    for row in sweep:
+        assert row.tx_ms < 5.0
+    assert last.tx_ms >= first.tx_ms

@@ -1,0 +1,45 @@
+"""Fig. 6d: per-RSU received bandwidth in the 5-RSU topology.
+
+Paper claims reproduced here:
+- every RSU's received bandwidth is far below the 27 Mb/s DSRC
+  capacity;
+- the motorway-link RSU receives slightly more than the motorway RSUs
+  (CO-DATA collaboration traffic plus migrated vehicles);
+- the four motorway RSUs receive near-identical bandwidth.
+"""
+
+from repro.experiments.multirsu import fig6bd_corridor
+
+
+def test_fig6d_rsu_bandwidth(benchmark, scenario_training_dataset):
+    corridor = benchmark.pedantic(
+        lambda: fig6bd_corridor(
+            n_vehicles_per_rsu=128,
+            duration_s=4.0,
+            handover_fraction=0.125,
+            dataset=scenario_training_dataset,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + corridor.format_table())
+
+    link = corridor.link_row
+    motorway_bandwidths = [r.bandwidth_mbps for r in corridor.motorway_rows]
+
+    # All far below DSRC capacity.
+    for row in corridor.rows:
+        assert row.bandwidth_mbps < 27.0 / 4
+
+    # Link RSU slightly higher than every motorway RSU.
+    assert link.bandwidth_mbps > max(motorway_bandwidths)
+
+    # Motorway RSUs near-identical (within 10 % of each other).
+    spread = max(motorway_bandwidths) - min(motorway_bandwidths)
+    assert spread / max(motorway_bandwidths) < 0.10
+
+    # Collaboration actually happened.
+    assert link.summaries_received > 0
+    assert sum(r.summaries_sent for r in corridor.motorway_rows) == (
+        link.summaries_received
+    )

@@ -1,0 +1,45 @@
+"""Fig. 9: coverage of the road network by existing infrastructure.
+
+Paper claim reproduced here: with realistic street-furniture density
+("except the regions marked by gray circles ... the existing roadside
+infrastructure almost covers the entire city"), most road length falls
+within DSRC range of some unit, and the planner can enumerate the
+residual gaps requiring dedicated RSU installs.
+"""
+
+from repro.experiments.deployment import fig9_coverage
+
+
+def test_fig9_coverage(benchmark, city_network):
+    report = benchmark.pedantic(
+        lambda: fig9_coverage(network=city_network, infrastructure_scale=4.0),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + report.format_summary())
+
+    # Substantial coverage from existing furniture.
+    assert report.covered_fraction > 0.30
+
+    # But some roads do need dedicated installs (the gray circles).
+    assert report.n_uncovered_roads > 0
+    assert report.n_uncovered_roads < len(report.per_road_coverage)
+
+    # Coverage bookkeeping is consistent.
+    assert 0.0 <= report.covered_fraction <= 1.0
+    for fraction in report.per_road_coverage.values():
+        assert 0.0 <= fraction <= 1.0 + 1e-9
+
+
+def test_fig9_more_infrastructure_more_coverage(benchmark, city_network):
+    def run():
+        return (
+            fig9_coverage(network=city_network, infrastructure_scale=1.0),
+            fig9_coverage(network=city_network, infrastructure_scale=6.0),
+        )
+
+    sparse, dense = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nsparse: {sparse.format_summary()}")
+    print(f"dense:  {dense.format_summary()}")
+    assert dense.covered_fraction > sparse.covered_fraction
+    assert dense.n_uncovered_roads <= sparse.n_uncovered_roads

@@ -1,0 +1,106 @@
+"""Performance guardrails for the substrates themselves.
+
+Unlike the paper-reproduction benches (which assert *system* claims),
+these measure the building blocks' throughput so regressions that
+would silently stretch every experiment show up here first.  Bounds
+are deliberately loose (10x headroom on a laptop-class machine).
+"""
+
+import numpy as np
+
+from repro.ml import DecisionTreeClassifier, GaussianNaiveBayes
+from repro.simkernel import Simulator
+from repro.streaming import Broker, Consumer, Producer
+
+
+def test_simulator_event_throughput(benchmark):
+    """The DES must sustain >= 100 K events/s (experiments schedule
+    millions)."""
+
+    def run():
+        sim = Simulator()
+        count = 200_000
+        state = {"fired": 0}
+
+        def tick():
+            state["fired"] += 1
+
+        for index in range(count):
+            sim.at(index * 1e-6, tick)
+        sim.run()
+        return state["fired"]
+
+    fired = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert fired == 200_000
+    assert benchmark.stats["mean"] < 2.0  # >= 100 K events/s
+
+
+def test_broker_produce_throughput(benchmark):
+    """The in-process log must sustain >= 50 K produces/s."""
+
+    def run():
+        broker = Broker("perf")
+        broker.create_topic("t", 3)
+        producer = Producer(broker)
+        for index in range(50_000):
+            producer.send("t", {"n": index}, key=str(index % 256))
+        return broker.records_in
+
+    produced = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert produced == 50_000
+    assert benchmark.stats["mean"] < 1.0
+
+
+def test_consumer_poll_throughput(benchmark):
+    broker = Broker("perf")
+    broker.create_topic("t", 3)
+    producer = Producer(broker)
+    for index in range(50_000):
+        producer.send("t", {"n": index})
+
+    def run():
+        consumer = Consumer(broker)
+        consumer.subscribe(["t"])
+        total = 0
+        while True:
+            records = consumer.poll(max_records=5_000)
+            if not records:
+                return total
+            total += len(records)
+
+    consumed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert consumed == 50_000
+    assert benchmark.stats["mean"] < 1.5
+
+
+def test_naive_bayes_fit_predict_speed(benchmark):
+    """NB on a paper-scale batch (100 K x 3) in well under a second —
+    the lightweight-model premise of the whole system."""
+    rng = np.random.default_rng(0)
+    X = np.vstack(
+        [rng.normal(0, 1, (50_000, 3)), rng.normal(2, 1, (50_000, 3))]
+    )
+    y = np.array([0] * 50_000 + [1] * 50_000)
+
+    def run():
+        model = GaussianNaiveBayes().fit(X, y)
+        return model.predict(X)
+
+    predictions = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(predictions) == 100_000
+    assert benchmark.stats["mean"] < 1.0
+
+
+def test_decision_tree_fit_speed(benchmark):
+    """The fusion tree fits 50 K x 3 rows within a couple of seconds
+    (binned splits keep it near-linear)."""
+    rng = np.random.default_rng(1)
+    X = rng.normal(0, 1, (50_000, 3))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+
+    def run():
+        return DecisionTreeClassifier(max_depth=5).fit(X, y)
+
+    model = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert model.depth <= 5
+    assert benchmark.stats["mean"] < 4.0

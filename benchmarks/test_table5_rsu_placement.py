@@ -1,0 +1,73 @@
+"""Table V: RSUs required per road type on the synthetic Shenzhen.
+
+Paper claims reproduced here:
+- per-road-type road counts match Table V exactly (the synthetic city
+  is calibrated to them);
+- per-road-type mean lengths land near Table V (lognormal sampling
+  noise allowed);
+- RSU counts land near Table V's (the planner's one-RSU-per-km rule
+  applied to sampled lengths);
+- total deployment is of order ~5,000 RSUs (paper: 4,998).
+"""
+
+import pytest
+
+from repro.experiments.deployment import (
+    SHENZHEN_ROAD_TRUNKS,
+    city_scale_capacity,
+    table5_placement,
+)
+from repro.geo import RoadType
+from repro.geo.network_builder import TABLE_V_SPECS
+
+#: The paper's Table V RSUs column.
+PAPER_RSUS = {
+    RoadType.MOTORWAY: 1460,
+    RoadType.MOTORWAY_LINK: 94,
+    RoadType.TRUNK: 1064,
+    RoadType.TRUNK_LINK: 83,
+    RoadType.PRIMARY: 956,
+    RoadType.PRIMARY_LINK: 40,
+    RoadType.SECONDARY: 639,
+    RoadType.SECONDARY_LINK: 6,
+    RoadType.TERTIARY: 555,
+    RoadType.RESIDENTIAL: 101,
+}
+
+
+def test_table5_rsu_placement(benchmark, city_network):
+    plan = benchmark.pedantic(
+        lambda: table5_placement(network=city_network),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + plan.format_table())
+
+    for road_type, spec in TABLE_V_SPECS.items():
+        row = plan.row(road_type)
+        # Road counts: exact (calibrated).
+        assert row.n_roads == spec.count
+        # Mean lengths: within lognormal sampling error.
+        assert row.mean_length_m == pytest.approx(
+            spec.mean_length_m, rel=0.40
+        )
+        # Densities pass through.
+        assert row.traffic_density == pytest.approx(spec.traffic_density)
+
+    # RSU counts: same order as the paper per class, and ~5K total.
+    for road_type, paper_count in PAPER_RSUS.items():
+        measured = plan.row(road_type).rsus_required
+        assert measured == pytest.approx(paper_count, rel=0.6), road_type
+    assert plan.total_rsus == pytest.approx(4998, rel=0.25)
+
+
+def test_table5_city_scale_capacity(benchmark):
+    """Paper: 51,129 trunks x 256 vehicles ~= 13 M concurrent users."""
+    capacity = benchmark.pedantic(
+        lambda: city_scale_capacity(vehicles_per_rsu=256),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\ncity-scale capacity: {capacity:,} concurrent vehicles")
+    assert capacity == SHENZHEN_ROAD_TRUNKS * 256
+    assert 12_000_000 < capacity < 14_000_000

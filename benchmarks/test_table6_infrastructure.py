@@ -1,0 +1,46 @@
+"""Table VI: spacing of existing roadside infrastructure.
+
+Paper values:
+    Traffic light: count 3,278  AVG 244.57  STD 299.7  75% 444.2  MAX 999.5
+    Lamp poles:    count   520  AVG  71.9   STD  82.8  75% 100    MAX 116
+
+Claims reproduced here: counts exact; averages within ~10 %; maxima
+respect the paper's truncation; lights are much sparser than lamp
+poles.
+"""
+
+import pytest
+
+from repro.deploy import InfrastructureKind, format_table_vi
+from repro.experiments.deployment import table6_infrastructure
+
+
+def test_table6_infrastructure(benchmark, city_network):
+    rows, _ = benchmark.pedantic(
+        lambda: table6_infrastructure(network=city_network),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_table_vi(rows))
+    by_kind = {row.kind: row for row in rows}
+
+    lights = by_kind[InfrastructureKind.TRAFFIC_LIGHT]
+    poles = by_kind[InfrastructureKind.LAMP_POLE]
+
+    # Counts exact (Table VI).
+    assert lights.count == 3278
+    assert poles.count == 520
+
+    # Mean spacings near the paper's.
+    assert lights.avg_m == pytest.approx(244.57, rel=0.10)
+    assert poles.avg_m == pytest.approx(71.9, rel=0.10)
+
+    # Maximum gaps respect the paper's observed maxima.
+    assert lights.max_m <= 999.5 + 1.0
+    assert poles.max_m <= 116.0 + 1.0
+
+    # Lights sparser than poles, as in the paper.
+    assert lights.avg_m > 2.0 * poles.avg_m
+
+    # 75th percentile between mean and max.
+    assert lights.avg_m < lights.p75_m < lights.max_m

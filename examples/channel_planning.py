@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""DSRC channel planning for dense RSU deployments (Sec. VII-B).
+
+When RSUs stand close enough to interfere, the paper proposes a
+"high-level management scheme [that] can change the operating service
+channel".  This example plans service channels for a dense urban
+corridor: RSUs every 400 m along a 4 km road plus a cluster at an
+interchange, coloured so no two interfering RSUs share a channel.
+
+Run:  python examples/channel_planning.py
+"""
+
+from repro.geo import LatLon
+from repro.geo.coords import destination_point
+from repro.net import ChannelManager, RsuSite, SERVICE_CHANNELS
+
+CENTER = LatLon(22.6, 114.2)
+
+
+def main() -> None:
+    # A 4 km arterial with an RSU every 400 m...
+    sites = [
+        RsuSite(f"arterial-{i}", destination_point(CENTER, 90.0, i * 400.0))
+        for i in range(11)
+    ]
+    # ...plus a dense interchange cluster at the east end.
+    east = destination_point(CENTER, 90.0, 4000.0)
+    for index, bearing in enumerate((0.0, 120.0, 240.0)):
+        sites.append(
+            RsuSite(
+                f"interchange-{index}",
+                destination_point(east, bearing, 150.0),
+            )
+        )
+
+    manager = ChannelManager(interference_range_m=600.0)
+    plan = manager.assign(sites)
+
+    print(f"{len(sites)} RSU sites, {len(SERVICE_CHANNELS)} service channels")
+    print(f"channels used: {plan.n_channels_used}, "
+          f"conflict-free: {plan.conflict_free}\n")
+    for site in sites:
+        print(f"  {site.name:<16} SCH {plan.channel_of(site.name)}")
+
+    graph = manager.interference_graph(sites)
+    clashes = [
+        (a, b)
+        for a in graph
+        for b in graph[a]
+        if a < b and plan.channel_of(a) == plan.channel_of(b)
+    ]
+    print(f"\ninterfering pairs sharing a channel: {len(clashes)}")
+    print("-> adjacent RSUs never share a service channel; the dense "
+          "interchange\n   cluster spreads across the SCH palette, as "
+          "Sec. VII-B prescribes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Changing patterns: online RSU learning under regime drift.
+
+The paper motivates CAD3 with time-varying driving behaviour
+(Sec. II, "Changing Patterns") and says each RSU "learns the normal
+behavior over time".  This example shows why that matters: halfway
+through the stream the road's speed regime drops by 30 % (roadworks /
+weather), and
+
+- the offline-trained (static) detector collapses,
+- the cumulative online detector (incremental Naive Bayes) partially
+  recovers,
+- the sliding-window online detector recovers to pre-drift accuracy.
+
+Run:  python examples/drift_adaptation.py
+"""
+
+from repro.experiments.drift import drift_adaptation
+
+
+def main() -> None:
+    print("streaming motorway telemetry; speed regime drops 30% mid-stream\n")
+    result = drift_adaptation(n_cars=150)
+    print(result.format_series())
+    print()
+    for name in ("static", "cumulative", "window"):
+        before = result.mean_accuracy(name, post_drift=False)
+        after = result.mean_accuracy(name, post_drift=True)
+        delta = after - before
+        print(f"{name:<12} accuracy before={before:.3f} "
+              f"after={after:.3f} ({delta:+.3f})")
+    print(
+        "\n-> an RSU that keeps learning (sliding-window refits) tracks the"
+        "\n   road's changing normal; a frozen offline model does not."
+    )
+
+
+if __name__ == "__main__":
+    main()

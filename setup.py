@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (which build a wheel) fail.  Keeping a
+``setup.py`` and no ``[build-system]`` table lets ``pip install -e .``
+use the legacy editable path, which needs neither network nor wheel.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

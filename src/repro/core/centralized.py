@@ -1,0 +1,72 @@
+"""The centralized baseline: one city-scale model.
+
+The paper's centralized comparator "assumes training all road vehicular
+data at once": a single Naive Bayes over every road type, with RoadType
+as just another feature.  Mixing the per-road-type speed distributions
+into one Gaussian per class is exactly what costs it road-level
+context-awareness — its per-class speed Gaussian must straddle the
+motorway's ~160 km/h mode and the link's ~115 km/h mode at once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.features import centralized_features, labels_of
+from repro.dataset.schema import NORMAL, TelemetryRecord
+from repro.ml.naive_bayes import GaussianNaiveBayes
+
+
+class CentralizedDetector:
+    """City-scale Naive Bayes over [InstSpeed, accel, Hour, RoadType].
+
+    ``encoding`` selects the RoadType representation ("ordinal" or
+    "onehot"); both perform comparably — see ``centralized_features``.
+    """
+
+    def __init__(
+        self, var_smoothing: float = 1e-9, encoding: str = "ordinal"
+    ) -> None:
+        self.model = GaussianNaiveBayes(var_smoothing=var_smoothing)
+        self.encoding = encoding
+        self._fitted = False
+
+    def fit(self, records: Sequence[TelemetryRecord]) -> "CentralizedDetector":
+        if not records:
+            raise ValueError("cannot fit on zero records")
+        X = centralized_features(records, encoding=self.encoding)
+        y = labels_of(records)
+        self.model.fit(X, y)
+        self._fitted = True
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        return self._fitted
+
+    def predict(self, records: Sequence[TelemetryRecord]) -> np.ndarray:
+        if not records:
+            return np.empty(0, dtype=int)
+        return self.model.predict(
+            centralized_features(records, encoding=self.encoding)
+        )
+
+    def predict_normal_proba(
+        self, records: Sequence[TelemetryRecord]
+    ) -> np.ndarray:
+        if not records:
+            return np.empty(0)
+        return self.model.proba_of(
+            centralized_features(records, encoding=self.encoding), NORMAL
+        )
+
+    def detect(
+        self, records: Sequence[TelemetryRecord]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self.predict(records), self.predict_normal_proba(records)
+
+    def __repr__(self) -> str:
+        state = "fitted" if self._fitted else "unfitted"
+        return f"CentralizedDetector({state})"

@@ -1,0 +1,104 @@
+"""AD3: the standalone per-road-type detector (Sec. IV-C).
+
+Each RSU trains a Gaussian Naive Bayes on the data of the road type it
+covers, learning the *normal* profile for that road, and classifies
+incoming records.  Context-awareness comes from the per-road-type
+scoping: 90 km/h is abnormal on a motorway link whose traffic runs
+0-35 km/h, and normal on the motorway.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.features import base_features, labels_of
+from repro.dataset.schema import NORMAL, TelemetryRecord
+from repro.geo.roadnet import RoadType
+from repro.ml.naive_bayes import GaussianNaiveBayes
+
+
+def road_features(records: Sequence[TelemetryRecord]) -> np.ndarray:
+    """The AD3 feature matrix: [InstSpeed, accel, Hour]."""
+    return base_features(records)
+
+
+class AD3Detector:
+    """Per-road-type Naive Bayes anomaly detector.
+
+    Parameters
+    ----------
+    road_type:
+        The road type this detector covers; ``fit`` and ``predict``
+        refuse records of other types, catching wiring bugs where an
+        RSU receives data it has no model for.
+    var_smoothing:
+        Passed to the underlying :class:`GaussianNaiveBayes`.
+    model:
+        Optional alternative classifier (anything with ``fit`` /
+        ``predict`` / ``proba_of``) — the hook for the paper's
+        future-work "complex anomaly detection algorithms" (e.g.
+        :class:`repro.ml.LogisticRegression` or
+        :class:`repro.ml.RandomForestClassifier`).
+    """
+
+    def __init__(
+        self,
+        road_type: RoadType,
+        var_smoothing: float = 1e-9,
+        model=None,
+    ) -> None:
+        self.road_type = road_type
+        self.model = model or GaussianNaiveBayes(var_smoothing=var_smoothing)
+        self._fitted = False
+
+    def _check_road_type(self, records: Sequence[TelemetryRecord]) -> None:
+        for record in records:
+            if record.road_type is not self.road_type:
+                raise ValueError(
+                    f"AD3Detector for {self.road_type.value!r} received a "
+                    f"record for {record.road_type.value!r} "
+                    f"(car {record.car_id})"
+                )
+
+    def fit(self, records: Sequence[TelemetryRecord]) -> "AD3Detector":
+        """Train on labelled records of this detector's road type."""
+        if not records:
+            raise ValueError("cannot fit on zero records")
+        self._check_road_type(records)
+        X = road_features(records)
+        y = labels_of(records)
+        self.model.fit(X, y)
+        self._fitted = True
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        return self._fitted
+
+    def predict(self, records: Sequence[TelemetryRecord]) -> np.ndarray:
+        """Class per record: 1 normal, 0 abnormal."""
+        if not records:
+            return np.empty(0, dtype=int)
+        self._check_road_type(records)
+        return self.model.predict(road_features(records))
+
+    def predict_normal_proba(
+        self, records: Sequence[TelemetryRecord]
+    ) -> np.ndarray:
+        """P(normal) per record — the P_NB of Eq. 1."""
+        if not records:
+            return np.empty(0)
+        self._check_road_type(records)
+        return self.model.proba_of(road_features(records), NORMAL)
+
+    def detect(
+        self, records: Sequence[TelemetryRecord]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(classes, normal probabilities) in one pass."""
+        return self.predict(records), self.predict_normal_proba(records)
+
+    def __repr__(self) -> str:
+        state = "fitted" if self._fitted else "unfitted"
+        return f"AD3Detector(road_type={self.road_type.value!r}, {state})"

@@ -1,0 +1,345 @@
+"""The RSU node: ingestion, micro-batch detection, dissemination,
+collaboration.
+
+One :class:`RsuNode` is the paper's edge unit (Fig. 3): a Kafka broker
+with the three topics, a Spark-style 50 ms micro-batch pipeline running
+the detector, warnings written to ``OUT-DATA``, and ``CO-DATA``
+summaries exchanged with adjacent RSUs over a wired link at vehicle
+handover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.centralized import CentralizedDetector
+from repro.core.collaborative import CollaborativeDetector
+from repro.core.detector import AD3Detector
+from repro.core.features import (
+    CO_DATA,
+    IN_DATA,
+    OUT_DATA,
+    PredictionSummary,
+    WarningMessage,
+    payload_to_record,
+)
+from repro.dataset.schema import ABNORMAL
+from repro.microbatch.context import ProcessingModel, StreamingContext
+from repro.net.link import WiredLink
+from repro.simkernel.simulator import Simulator
+from repro.streaming.broker import Broker
+from repro.streaming.consumer import Consumer
+
+
+@dataclass
+class RsuConfig:
+    """Per-RSU tunables, defaulting to the paper's testbed settings."""
+
+    batch_interval_s: float = 0.050
+    topic_partitions: int = 3
+    processing_model: ProcessingModel = field(default_factory=ProcessingModel)
+    #: Keep at most this many recent NB probabilities per car for the
+    #: handover summary.
+    history_limit: int = 200
+    #: Consecutive abnormal records required before a warning fires.
+    #: 1 (the paper's behaviour) warns on every abnormal record; higher
+    #: values debounce flicker at the cost of detection delay ("less
+    #: disturbance to other drivers with false warnings", Sec. VI-D4).
+    warning_threshold: int = 1
+
+    def __post_init__(self) -> None:
+        if self.warning_threshold < 1:
+            raise ValueError("warning_threshold must be >= 1")
+
+
+@dataclass
+class DetectionEvent:
+    """One record's journey through the RSU, for latency accounting
+    and online quality measurement."""
+
+    car_id: int
+    generated_at: float  # vehicle produced the packet
+    arrived_at: float  # packet reached the broker (after DSRC)
+    detected_at: float  # micro-batch completion
+    abnormal: bool  # the detector's verdict
+    #: Offline sigma-cutoff label carried by the replayed record
+    #: (None when replaying unlabelled data).
+    true_label: Optional[int] = None
+
+    @property
+    def queuing_s(self) -> float:
+        return self.detected_at - self.arrived_at
+
+    @property
+    def tx_s(self) -> float:
+        return self.arrived_at - self.generated_at
+
+
+class RsuNode:
+    """A roadside unit: broker + micro-batch detection + collaboration.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    name:
+        RSU identity (``"rsu-motorway-1"``).
+    detector:
+        A fitted detector: :class:`AD3Detector`,
+        :class:`CollaborativeDetector`, or :class:`CentralizedDetector`.
+    config:
+        Tunables.
+    jitter_rng:
+        Seeded RNG for processing jitter (``None`` = deterministic).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        detector,
+        config: Optional[RsuConfig] = None,
+        jitter_rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.detector = detector
+        self.config = config or RsuConfig()
+        self.broker = Broker(name, clock=lambda: sim.now)
+        for topic in (IN_DATA, OUT_DATA, CO_DATA):
+            self.broker.create_topic(topic, self.config.topic_partitions)
+        self._in_consumer = Consumer(self.broker, group=f"{name}-pipeline")
+        self._in_consumer.subscribe([IN_DATA])
+        self._co_consumer = Consumer(self.broker, group=f"{name}-collab")
+        self._co_consumer.subscribe([CO_DATA])
+        jitter_source = None
+        if jitter_rng is not None:
+            jitter_source = lambda: float(jitter_rng.uniform(-1.0, 1.0))
+        self.context = StreamingContext(
+            sim,
+            self._in_consumer,
+            interval_s=self.config.batch_interval_s,
+            processing_model=self.config.processing_model,
+            jitter_source=jitter_source,
+        )
+        self.context.stream.foreach_batch(self._on_batch)
+        # Collaboration state
+        self.summaries: Dict[int, PredictionSummary] = {}
+        self._history: Dict[int, List[float]] = {}
+        self._last_class: Dict[int, int] = {}
+        self._abnormal_streak: Dict[int, int] = {}
+        self._links: Dict[str, WiredLink] = {}
+        self._neighbors: Dict[str, "RsuNode"] = {}
+        # Measurements
+        self.events: List[DetectionEvent] = []
+        self.warnings_issued = 0
+        self.summaries_sent = 0
+        self.summaries_received = 0
+        self.failed = False
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def connect(self, other: "RsuNode", link: WiredLink) -> None:
+        """Attach a wired link toward ``other`` for CO-DATA traffic."""
+        if other.name in self._neighbors:
+            raise ValueError(f"{self.name!r} already connected to {other.name!r}")
+        self._neighbors[other.name] = other
+        self._links[other.name] = link
+
+    @property
+    def neighbor_names(self) -> List[str]:
+        return sorted(self._neighbors)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, until: Optional[float] = None) -> None:
+        self.context.start(until=until)
+
+    def stop(self) -> None:
+        self.context.stop()
+
+    def fail(self) -> None:
+        """Take the node down (edge-node outage).
+
+        The pipeline stops and the node refuses further collaboration;
+        already-queued telemetry is lost with the node.  Vehicles must
+        re-home to a neighbouring RSU (see
+        :meth:`repro.core.system.TestbedScenario.schedule_failover`).
+        """
+        self.failed = True
+        self.context.stop()
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+    def _drain_co_data(self) -> None:
+        """Fold newly arrived CO-DATA summaries into detection state."""
+        for record in self._co_consumer.poll():
+            summary = PredictionSummary.from_payload(record.value)
+            existing = self.summaries.get(summary.car_id)
+            if existing is not None:
+                merged = PredictionSummary.merge([existing, summary])
+                self.summaries[summary.car_id] = merged
+            else:
+                self.summaries[summary.car_id] = summary
+            self.summaries_received += 1
+
+    def _on_batch(self, batch, completion_time: float) -> None:
+        """Detect anomalies in one micro-batch and disseminate warnings."""
+        # Summaries must fold in even on idle ticks, so a handover
+        # arriving before the target sees any telemetry is not lost.
+        self._drain_co_data()
+        if batch.is_empty():
+            return
+        payloads = batch.collect()
+        records = [payload_to_record(p["data"]) for p in payloads]
+        if isinstance(self.detector, CollaborativeDetector):
+            classes, probs = self.detector.detect(records, self.summaries)
+        else:
+            classes, probs = self.detector.detect(records)
+        # Online detectors keep learning from what they just scored
+        # (prequential: predict first, then observe).
+        if hasattr(self.detector, "observe"):
+            self.detector.observe(records)
+        for payload, record, cls, prob in zip(payloads, records, classes, probs):
+            history = self._history.setdefault(record.car_id, [])
+            history.append(float(prob))
+            if len(history) > self.config.history_limit:
+                del history[: -self.config.history_limit]
+            self._last_class[record.car_id] = int(cls)
+            abnormal = int(cls) == ABNORMAL
+            self.events.append(
+                DetectionEvent(
+                    car_id=record.car_id,
+                    generated_at=payload["generated_at"],
+                    arrived_at=payload["arrived_at"],
+                    detected_at=completion_time,
+                    abnormal=abnormal,
+                    true_label=record.label,
+                )
+            )
+            if abnormal:
+                streak = self._abnormal_streak.get(record.car_id, 0) + 1
+                self._abnormal_streak[record.car_id] = streak
+            else:
+                self._abnormal_streak[record.car_id] = 0
+            if abnormal and (
+                self._abnormal_streak[record.car_id]
+                >= self.config.warning_threshold
+            ):
+                warning = WarningMessage(
+                    car_id=record.car_id,
+                    road_id=record.road_id,
+                    detected_at=completion_time,
+                    speed_kmh=record.speed_kmh,
+                )
+                out = dict(warning.to_payload())
+                out["generated_at"] = payload["generated_at"]
+                self.broker.produce(
+                    OUT_DATA,
+                    self._in_consumer.serde.serialize(out),
+                    key=str(record.car_id).encode(),
+                    timestamp=completion_time,
+                )
+                self.warnings_issued += 1
+
+    # ------------------------------------------------------------------
+    # Collaboration (handover)
+    # ------------------------------------------------------------------
+    def build_summary(self, car_id: int) -> Optional[PredictionSummary]:
+        """Summarise the car's prediction history for handover.
+
+        If an upstream RSU already forwarded a summary for this car,
+        it is merged with the local history — the paper's "the process
+        which is carried on": driver-awareness accumulates along the
+        whole trip, not just across one hop.
+        """
+        history = self._history.get(car_id)
+        inherited = self.summaries.get(car_id)
+        if not history:
+            return inherited
+        local = PredictionSummary(
+            car_id=car_id,
+            mean_normal_prob=float(np.mean(history)),
+            n_predictions=len(history),
+            last_class=self._last_class.get(car_id, 1),
+            from_road_id=0,
+            timestamp=self.sim.now,
+        )
+        if inherited is None:
+            return local
+        return PredictionSummary.merge([inherited, local])
+
+    def handover(self, car_id: int, target_name: str) -> bool:
+        """Forward the car's summary to an adjacent RSU's CO-DATA.
+
+        Returns ``True`` if a summary existed and was sent.  The
+        summary travels the wired link; on delivery it is produced into
+        the target broker's ``CO-DATA`` topic (the paper's Fig. 4 flow).
+        """
+        if self.failed:
+            return False  # a dead node cannot forward its history
+        if target_name not in self._neighbors:
+            raise KeyError(
+                f"{self.name!r} has no link to {target_name!r}; "
+                f"connected: {self.neighbor_names}"
+            )
+        summary = self.build_summary(car_id)
+        if summary is None:
+            return False
+        target = self._neighbors[target_name]
+        link = self._links[target_name]
+        payload = self._in_consumer.serde.serialize(summary.to_payload())
+
+        def deliver(at_time: float, data=payload) -> None:
+            target.broker.produce(CO_DATA, data, timestamp=at_time)
+
+        link.send(len(payload), deliver)
+        self.summaries_sent += 1
+        # The car's history now belongs to the next road.
+        self._history.pop(car_id, None)
+        self._last_class.pop(car_id, None)
+        self.summaries.pop(car_id, None)
+        return True
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def detection_report(self):
+        """Online detection quality over this RSU's labelled events.
+
+        Returns a
+        :class:`~repro.ml.metrics.BinaryClassificationReport` computed
+        from the events whose replayed record carried a label, or
+        ``None`` if there are none — the *in-situ* counterpart of the
+        paper's offline Fig. 7 evaluation.
+        """
+        from repro.dataset.schema import ABNORMAL, NORMAL
+        from repro.ml.metrics import evaluate_binary
+
+        labelled = [e for e in self.events if e.true_label is not None]
+        if not labelled:
+            return None
+        y_true = [e.true_label for e in labelled]
+        y_pred = [ABNORMAL if e.abnormal else NORMAL for e in labelled]
+        return evaluate_binary(y_true, y_pred)
+
+    def bandwidth_in_bps(self, elapsed_s: float) -> float:
+        """Mean ingest bandwidth over the run (Fig. 6c/6d)."""
+        if elapsed_s <= 0:
+            raise ValueError("elapsed time must be positive")
+        return self.broker.bytes_in * 8.0 / elapsed_s
+
+    def mean_processing_ms(self) -> float:
+        return self.context.mean_processing_ms()
+
+    def __repr__(self) -> str:
+        return (
+            f"RsuNode(name={self.name!r}, events={len(self.events)}, "
+            f"warnings={self.warnings_issued})"
+        )

@@ -1,0 +1,554 @@
+"""Testbed scenario assembly (the paper's Fig. 5 in simulation).
+
+Two topologies, matching the evaluation:
+
+- :meth:`TestbedScenario.single_rsu` — one motorway RSU serving 8-256
+  vehicles (Fig. 6a latency and Fig. 6c bandwidth scalability).
+- :meth:`TestbedScenario.corridor` — four motorway RSUs collaborating
+  with one motorway-link RSU, 128 vehicles each, with mid-run vehicle
+  handover (Fig. 6b dissemination latency and Fig. 6d per-RSU
+  bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.collaborative import CollaborativeDetector, summaries_from_upstream
+from repro.core.detector import AD3Detector
+from repro.core.rsu import RsuConfig, RsuNode
+from repro.core.vehicle import VehicleNode, VehicleStats
+from repro.dataset.generator import DatasetGenerator, GeneratorConfig
+from repro.dataset.preprocess import Preprocessor
+from repro.dataset.schema import TelemetryRecord
+from repro.geo.network_builder import CityNetworkBuilder
+from repro.geo.roadnet import RoadType
+from repro.microbatch.context import ProcessingModel
+from repro.net.dsrc import DSRC_BANDWIDTH_BPS, DsrcChannel, McsScheme, PAPER_MCS_8
+from repro.net.htb import HtbClass, HtbShaper
+from repro.net.link import WiredLink
+from repro.simkernel.rng import RngRegistry
+from repro.simkernel.simulator import Simulator
+
+
+@dataclass
+class ScenarioConfig:
+    """Testbed knobs, defaulting to the paper's settings."""
+
+    n_vehicles: int = 8  # per RSU
+    duration_s: float = 10.0
+    update_rate_hz: float = 10.0
+    batch_interval_s: float = 0.050
+    poll_interval_s: float = 0.010
+    seed: int = 7
+    use_htb: bool = True
+    htb_floor_bps: float = 100_000.0  # netem assured rate per producer
+    mcs: McsScheme = field(default_factory=lambda: PAPER_MCS_8)
+    #: Broadcast-frame loss probability on the DSRC channel.
+    loss_prob: float = 0.0
+    handover_fraction: float = 0.0
+    handover_at_s: Optional[float] = None
+    processing_model: ProcessingModel = field(default_factory=ProcessingModel)
+
+    def __post_init__(self) -> None:
+        if self.n_vehicles < 1:
+            raise ValueError("need at least one vehicle")
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if not 0.0 <= self.handover_fraction <= 1.0:
+            raise ValueError("handover_fraction must be in [0, 1]")
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise ValueError("loss_prob must be in [0, 1)")
+
+
+@dataclass
+class RsuMetrics:
+    """Per-RSU results."""
+
+    name: str
+    mean_processing_ms: float
+    bandwidth_in_bps: float
+    n_events: int
+    warnings_issued: int
+    summaries_sent: int
+    summaries_received: int
+    mean_tx_ms: float
+    mean_queuing_ms: float
+    #: Online detection quality (None if no labelled events).
+    detection: Optional[object] = None
+
+
+@dataclass
+class ScenarioResult:
+    """Everything the Fig. 6 experiments read."""
+
+    config: ScenarioConfig
+    duration_s: float
+    rsu_metrics: Dict[str, RsuMetrics]
+    vehicle_stats: Dict[int, VehicleStats]
+
+    # ------------------------------------------------------------------
+    def _all_latencies(self, attribute: str) -> np.ndarray:
+        values: List[float] = []
+        for stats in self.vehicle_stats.values():
+            values.extend(getattr(stats, attribute))
+        return np.asarray(values)
+
+    @property
+    def e2e_latencies_ms(self) -> np.ndarray:
+        return self._all_latencies("e2e_latencies_s") * 1e3
+
+    @property
+    def dissemination_latencies_ms(self) -> np.ndarray:
+        return self._all_latencies("dissemination_latencies_s") * 1e3
+
+    def mean_e2e_ms(self) -> float:
+        latencies = self.e2e_latencies_ms
+        return float(latencies.mean()) if latencies.size else 0.0
+
+    def mean_dissemination_ms(self) -> float:
+        latencies = self.dissemination_latencies_ms
+        return float(latencies.mean()) if latencies.size else 0.0
+
+    def mean_tx_ms(self) -> float:
+        weighted = [
+            (m.mean_tx_ms, m.n_events) for m in self.rsu_metrics.values()
+        ]
+        total = sum(n for _, n in weighted)
+        if total == 0:
+            return 0.0
+        return sum(v * n for v, n in weighted) / total
+
+    def mean_processing_ms(self) -> float:
+        values = [m.mean_processing_ms for m in self.rsu_metrics.values()]
+        return float(np.mean(values)) if values else 0.0
+
+    def per_vehicle_bandwidth_bps(self) -> float:
+        rates = [
+            stats.bandwidth_bps(self.duration_s)
+            for stats in self.vehicle_stats.values()
+        ]
+        return float(np.mean(rates)) if rates else 0.0
+
+    def total_bandwidth_bps(self) -> float:
+        return sum(m.bandwidth_in_bps for m in self.rsu_metrics.values())
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (for experiment artefacts)."""
+        return {
+            "duration_s": self.duration_s,
+            "n_vehicles": len(self.vehicle_stats),
+            "mean_e2e_ms": self.mean_e2e_ms(),
+            "mean_tx_ms": self.mean_tx_ms(),
+            "mean_processing_ms": self.mean_processing_ms(),
+            "mean_dissemination_ms": self.mean_dissemination_ms(),
+            "per_vehicle_bandwidth_bps": self.per_vehicle_bandwidth_bps(),
+            "total_bandwidth_bps": self.total_bandwidth_bps(),
+            "rsus": {
+                name: {
+                    "bandwidth_in_bps": metrics.bandwidth_in_bps,
+                    "mean_processing_ms": metrics.mean_processing_ms,
+                    "n_events": metrics.n_events,
+                    "warnings_issued": metrics.warnings_issued,
+                    "summaries_sent": metrics.summaries_sent,
+                    "summaries_received": metrics.summaries_received,
+                    "detection": (
+                        None
+                        if metrics.detection is None
+                        else {
+                            "accuracy": metrics.detection.accuracy,
+                            "f1": metrics.detection.f1,
+                            "tp_rate": metrics.detection.tp_rate,
+                            "fn_rate": metrics.detection.fn_rate,
+                        }
+                    ),
+                }
+                for name, metrics in self.rsu_metrics.items()
+            },
+        }
+
+
+def default_training_dataset(seed: int = 11, n_cars: int = 150):
+    """A labelled corridor dataset big enough to train scenario models."""
+    network = CityNetworkBuilder(seed=seed).build_corridor()
+    generator = DatasetGenerator(
+        network,
+        GeneratorConfig(
+            n_cars=n_cars, trips_per_car=6, seed=seed, erroneous_rate=0.0
+        ),
+    )
+    dataset = generator.generate()
+    dataset.records = Preprocessor().run(dataset.records)
+    return dataset
+
+
+class TestbedScenario:
+    """A wired-up simulation ready to :meth:`run`."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.rng = RngRegistry(config.seed)
+        self.rsus: Dict[str, RsuNode] = {}
+        self.channels: Dict[str, DsrcChannel] = {}
+        self.shapers: Dict[str, HtbShaper] = {}
+        self.vehicles: List[VehicleNode] = []
+        self._next_car_id = 1
+        self._record_pools: Dict[RoadType, List[TelemetryRecord]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_rsu(self, name: str, detector) -> RsuNode:
+        rsu = RsuNode(
+            self.sim,
+            name,
+            detector,
+            config=RsuConfig(
+                batch_interval_s=self.config.batch_interval_s,
+                processing_model=self.config.processing_model,
+            ),
+            jitter_rng=self.rng.stream(f"jitter.{name}"),
+        )
+        self.rsus[name] = rsu
+        self.channels[name] = DsrcChannel(
+            self.sim,
+            mcs=self.config.mcs,
+            rng=self.rng.stream(f"dsrc.{name}"),
+            loss_prob=self.config.loss_prob,
+        )
+        if self.config.use_htb:
+            root = HtbClass(f"{name}-root", DSRC_BANDWIDTH_BPS, DSRC_BANDWIDTH_BPS)
+            self.shapers[name] = HtbShaper(root)
+        return rsu
+
+    def _shaper_for(self, rsu_name: str, car_id: int) -> Optional[HtbShaper]:
+        if not self.config.use_htb:
+            return None
+        shaper = self.shapers[rsu_name]
+        leaf_name = f"vehicle-{car_id}"
+        try:
+            shaper.leaf(leaf_name)
+        except KeyError:
+            shaper.add_leaf(
+                HtbClass(leaf_name, self.config.htb_floor_bps, DSRC_BANDWIDTH_BPS)
+            )
+        return shaper
+
+    def add_vehicles(
+        self,
+        rsu_name: str,
+        count: int,
+        records: Sequence[TelemetryRecord],
+    ) -> List[VehicleNode]:
+        """Attach ``count`` vehicles to an RSU, striping ``records``."""
+        if not records:
+            raise ValueError("need a non-empty record pool")
+        rsu = self.rsus[rsu_name]
+        channel = self.channels[rsu_name]
+        created = []
+        for index in range(count):
+            car_id = self._next_car_id
+            self._next_car_id += 1
+            stripe = list(records[index::count]) or list(records)
+            vehicle = VehicleNode(
+                self.sim,
+                car_id,
+                stripe,
+                rsu,
+                channel,
+                shaper=self._shaper_for(rsu_name, car_id),
+                update_rate_hz=self.config.update_rate_hz,
+                poll_interval_s=self.config.poll_interval_s,
+                rng=self.rng.stream(f"vehicle.{car_id}"),
+            )
+            self.vehicles.append(vehicle)
+            created.append(vehicle)
+        return created
+
+    def connect(self, src: str, dst: str, latency_s: float = 0.5e-3) -> None:
+        link = WiredLink(self.sim, latency_s=latency_s, name=f"{src}->{dst}")
+        self.rsus[src].connect(self.rsus[dst], link)
+
+    def schedule_handover(
+        self,
+        vehicles: Sequence[VehicleNode],
+        to_rsu: str,
+        at_s: float,
+        new_records: Sequence[TelemetryRecord],
+    ) -> None:
+        """Migrate ``vehicles`` to ``to_rsu`` at ``at_s`` (the paper's
+        emulated mobility: producers switch RSU and sub-dataset)."""
+        target = self.rsus[to_rsu]
+        channel = self.channels[to_rsu]
+
+        def migrate() -> None:
+            for index, vehicle in enumerate(vehicles):
+                old = vehicle.rsu
+                old.handover(vehicle.car_id, to_rsu)
+                vehicle.migrate(target, channel)
+                vehicle.shaper = self._shaper_for(to_rsu, vehicle.car_id)
+                stripe = list(new_records[index :: max(1, len(vehicles))])
+                if stripe:
+                    vehicle.set_records(stripe)
+
+        self.sim.at(at_s, migrate, label="handover")
+
+    def schedule_failover(
+        self, rsu_name: str, fallback_name: str, at_s: float
+    ) -> None:
+        """Fail an RSU at ``at_s`` and re-home its vehicles.
+
+        Models the edge-resilience scenario the paper motivates: when
+        a node dies, its vehicles attach to a neighbouring RSU and
+        detection continues (without the dead node's history — the
+        failed node cannot forward CO-DATA summaries).
+        """
+        if rsu_name == fallback_name:
+            raise ValueError("fallback must be a different RSU")
+        failed = self.rsus[rsu_name]
+        fallback = self.rsus[fallback_name]
+        fallback_channel = self.channels[fallback_name]
+
+        def fail() -> None:
+            failed.fail()
+            for vehicle in self.vehicles:
+                if vehicle.rsu is failed:
+                    vehicle.migrate(fallback, fallback_channel)
+                    vehicle.shaper = self._shaper_for(
+                        fallback_name, vehicle.car_id
+                    )
+
+        self.sim.at(at_s, fail, label="failover")
+
+    # ------------------------------------------------------------------
+    # Canonical topologies
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _train_replay_split(dataset) -> tuple:
+        """The paper's protocol: 80 % of trips train the models, the
+        remaining 20 % are what the emulated vehicles replay online."""
+        return dataset.split_by_trip(0.8, seed=0)
+
+    @classmethod
+    def single_rsu(
+        cls, config: ScenarioConfig, dataset=None
+    ) -> "TestbedScenario":
+        """One motorway RSU with ``config.n_vehicles`` vehicles."""
+        scenario = cls(config)
+        dataset = dataset or default_training_dataset(config.seed)
+        train, replay = cls._train_replay_split(dataset)
+        motorway_train = [
+            r for r in train if r.road_type is RoadType.MOTORWAY
+        ]
+        motorway_replay = [
+            r for r in replay if r.road_type is RoadType.MOTORWAY
+        ]
+        detector = AD3Detector(RoadType.MOTORWAY).fit(motorway_train)
+        scenario.add_rsu("rsu-motorway", detector)
+        scenario.add_vehicles(
+            "rsu-motorway", config.n_vehicles, motorway_replay
+        )
+        return scenario
+
+    @classmethod
+    def single_rsu_cloud(
+        cls, config: ScenarioConfig, dataset=None, cloud=None
+    ) -> "TestbedScenario":
+        """The QF-COTE-style baseline: detection offloaded to the
+        cloud behind the RSU (Sec. VII-A comparison)."""
+        from repro.core.cloud import CloudRelayRsu
+
+        scenario = cls(config)
+        dataset = dataset or default_training_dataset(config.seed)
+        train, replay = cls._train_replay_split(dataset)
+        motorway_train = [
+            r for r in train if r.road_type is RoadType.MOTORWAY
+        ]
+        motorway = [r for r in replay if r.road_type is RoadType.MOTORWAY]
+        detector = AD3Detector(RoadType.MOTORWAY).fit(motorway_train)
+        name = "rsu-motorway-cloud"
+        rsu = CloudRelayRsu(
+            scenario.sim,
+            name,
+            detector,
+            cloud=cloud,
+            config=RsuConfig(
+                batch_interval_s=config.batch_interval_s,
+                processing_model=config.processing_model,
+            ),
+            jitter_rng=scenario.rng.stream(f"jitter.{name}"),
+        )
+        scenario.rsus[name] = rsu
+        scenario.channels[name] = DsrcChannel(
+            scenario.sim,
+            mcs=config.mcs,
+            rng=scenario.rng.stream(f"dsrc.{name}"),
+        )
+        if config.use_htb:
+            root = HtbClass(
+                f"{name}-root", DSRC_BANDWIDTH_BPS, DSRC_BANDWIDTH_BPS
+            )
+            scenario.shapers[name] = HtbShaper(root)
+        scenario.add_vehicles(name, config.n_vehicles, motorway)
+        return scenario
+
+    @classmethod
+    def corridor(
+        cls,
+        config: ScenarioConfig,
+        motorways: int = 4,
+        dataset=None,
+        link_detector_kind: str = "cad3",
+    ) -> "TestbedScenario":
+        """``motorways`` motorway RSUs collaborating with one link RSU.
+
+        ``link_detector_kind`` selects what the link RSU runs:
+        ``"cad3"`` (the collaborative detector, default) or ``"ad3"``
+        (standalone NB) — the knob behind the full-system Fig. 7
+        comparison.
+        """
+        if link_detector_kind not in ("cad3", "ad3"):
+            raise ValueError(
+                f"unknown link_detector_kind: {link_detector_kind!r}"
+            )
+        scenario = cls(config)
+        dataset = dataset or default_training_dataset(config.seed)
+        train, replay = cls._train_replay_split(dataset)
+        motorway_train = [
+            r for r in train if r.road_type is RoadType.MOTORWAY
+        ]
+        link_train = [
+            r for r in train if r.road_type is RoadType.MOTORWAY_LINK
+        ]
+        motorway_records = [
+            r for r in replay if r.road_type is RoadType.MOTORWAY
+        ]
+        link_records = [
+            r for r in replay if r.road_type is RoadType.MOTORWAY_LINK
+        ]
+
+        motorway_detector = AD3Detector(RoadType.MOTORWAY).fit(motorway_train)
+        if link_detector_kind == "cad3":
+            summaries = summaries_from_upstream(
+                motorway_detector, motorway_train
+            )
+            link_detector = CollaborativeDetector(RoadType.MOTORWAY_LINK).fit(
+                link_train, summaries
+            )
+        else:
+            link_detector = AD3Detector(RoadType.MOTORWAY_LINK).fit(link_train)
+
+        scenario.add_rsu("rsu-mw-link", link_detector)
+        handover_pool: List[VehicleNode] = []
+        for index in range(motorways):
+            name = f"rsu-mw-{index + 1}"
+            scenario.add_rsu(name, motorway_detector)
+            scenario.connect(name, "rsu-mw-link")
+            vehicles = scenario.add_vehicles(
+                name, config.n_vehicles, motorway_records
+            )
+            n_migrating = int(len(vehicles) * config.handover_fraction)
+            handover_pool.extend(vehicles[:n_migrating])
+        scenario.add_vehicles("rsu-mw-link", config.n_vehicles, link_records)
+        if handover_pool:
+            at = (
+                config.handover_at_s
+                if config.handover_at_s is not None
+                else config.duration_s / 2.0
+            )
+            scenario.schedule_handover(
+                handover_pool, "rsu-mw-link", at, link_records
+            )
+        return scenario
+
+    @classmethod
+    def chain(
+        cls,
+        config: ScenarioConfig,
+        hops: int = 3,
+        dataset=None,
+    ) -> "TestbedScenario":
+        """``hops`` motorway RSUs in a line; every vehicle traverses
+        them all, handing over (and carrying its summary on) at each
+        boundary — the online form of the mesoscopic chain.
+        """
+        if hops < 2:
+            raise ValueError("a chain needs at least 2 hops")
+        scenario = cls(config)
+        dataset = dataset or default_training_dataset(config.seed)
+        train, replay = cls._train_replay_split(dataset)
+        motorway_train = [
+            r for r in train if r.road_type is RoadType.MOTORWAY
+        ]
+        motorway_replay = [
+            r for r in replay if r.road_type is RoadType.MOTORWAY
+        ]
+        nb = AD3Detector(RoadType.MOTORWAY).fit(motorway_train)
+        summaries = summaries_from_upstream(nb, motorway_train)
+        collaborative = CollaborativeDetector(
+            RoadType.MOTORWAY, nb=nb
+        ).fit(motorway_train, summaries, refit_nb=False)
+
+        names = [f"rsu-hop-{index + 1}" for index in range(hops)]
+        for index, name in enumerate(names):
+            # First hop detects standalone; downstream hops fuse the
+            # carried-on history.
+            scenario.add_rsu(name, nb if index == 0 else collaborative)
+            if index > 0:
+                scenario.connect(names[index - 1], name)
+        vehicles = scenario.add_vehicles(
+            names[0], config.n_vehicles, motorway_replay
+        )
+        dwell = config.duration_s / hops
+        for index in range(1, hops):
+            scenario.schedule_handover(
+                vehicles, names[index], index * dwell, motorway_replay
+            )
+        return scenario
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> ScenarioResult:
+        """Start everything, run for the configured duration, collect."""
+        until = self.config.duration_s
+        for rsu in self.rsus.values():
+            rsu.start(until=until)
+        for vehicle in self.vehicles:
+            vehicle.start(until=until)
+        # Allow in-flight batches/polls to complete shortly past the
+        # nominal end before freezing measurements.
+        self.sim.run_until(until + 0.5)
+        for vehicle in self.vehicles:
+            vehicle.stop()
+        for rsu in self.rsus.values():
+            rsu.stop()
+
+        rsu_metrics = {}
+        for name, rsu in self.rsus.items():
+            tx = [e.tx_s for e in rsu.events]
+            queuing = [e.queuing_s for e in rsu.events]
+            rsu_metrics[name] = RsuMetrics(
+                name=name,
+                mean_processing_ms=rsu.mean_processing_ms(),
+                bandwidth_in_bps=rsu.bandwidth_in_bps(self.config.duration_s),
+                n_events=len(rsu.events),
+                warnings_issued=rsu.warnings_issued,
+                summaries_sent=rsu.summaries_sent,
+                summaries_received=rsu.summaries_received,
+                mean_tx_ms=float(np.mean(tx)) * 1e3 if tx else 0.0,
+                mean_queuing_ms=float(np.mean(queuing)) * 1e3 if queuing else 0.0,
+                detection=rsu.detection_report(),
+            )
+        return ScenarioResult(
+            config=self.config,
+            duration_s=self.config.duration_s,
+            rsu_metrics=rsu_metrics,
+            vehicle_stats={v.car_id: v.stats for v in self.vehicles},
+        )

@@ -1,0 +1,223 @@
+"""The vehicle node: 10 Hz telemetry producer + warning consumer.
+
+Vehicles replay telemetry records through the DSRC channel to their
+RSU's ``IN-DATA`` topic ("each vehicle transmits records of the dataset
+at a frequency of 10 Hz") and poll ``OUT-DATA`` every 10 ms for
+warnings ("each Kafka consumer pulls every 10 ms to avoid consuming the
+bandwidth").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.features import IN_DATA, OUT_DATA, record_to_payload
+from repro.dataset.schema import TelemetryRecord
+from repro.net.dsrc import DsrcChannel
+from repro.net.htb import HtbShaper
+from repro.simkernel.simulator import Simulator
+from repro.streaming.consumer import Consumer
+from repro.streaming.serde import JsonSerde
+
+
+@dataclass
+class VehicleStats:
+    """Per-vehicle measurements."""
+
+    records_sent: int = 0
+    bytes_sent: int = 0
+    warnings_received: int = 0
+    e2e_latencies_s: List[float] = field(default_factory=list)
+    dissemination_latencies_s: List[float] = field(default_factory=list)
+
+    def bandwidth_bps(self, elapsed_s: float) -> float:
+        if elapsed_s <= 0:
+            raise ValueError("elapsed time must be positive")
+        return self.bytes_sent * 8.0 / elapsed_s
+
+
+class VehicleNode:
+    """One emulated vehicle.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    car_id:
+        Vehicle identity; warnings are filtered on it.
+    records:
+        Telemetry records to replay (cycled when exhausted).
+    rsu:
+        The RSU currently serving this vehicle.
+    channel:
+        Shared DSRC medium toward that RSU.
+    shaper:
+        HTB shaper (the testbed's netem emulation); optional.
+    update_rate_hz:
+        Telemetry frequency (paper: 10 Hz).
+    poll_interval_s:
+        Warning-poll period (paper: 10 ms).
+    consumer_processing_s:
+        Modelled consumer-side handling time added to each warning
+        delivery (the paper decomposes dissemination as
+        ``10 + 7.2 +- 4.4 ms``).
+    rng:
+        Seeded stream for consumer-processing jitter.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        car_id: int,
+        records: Iterable[TelemetryRecord],
+        rsu,
+        channel: DsrcChannel,
+        shaper: Optional[HtbShaper] = None,
+        update_rate_hz: float = 10.0,
+        poll_interval_s: float = 0.010,
+        consumer_processing_s: float = 7.2e-3,
+        consumer_jitter_s: float = 4.4e-3,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if update_rate_hz <= 0:
+            raise ValueError("update rate must be positive")
+        if poll_interval_s <= 0:
+            raise ValueError("poll interval must be positive")
+        self.sim = sim
+        self.car_id = car_id
+        self._records = itertools.cycle(list(records))
+        self.rsu = rsu
+        self.channel = channel
+        self.shaper = shaper
+        self.update_period_s = 1.0 / update_rate_hz
+        self.poll_interval_s = poll_interval_s
+        self.consumer_processing_s = consumer_processing_s
+        self.consumer_jitter_s = consumer_jitter_s
+        self._rng = rng or np.random.default_rng(car_id)
+        self.serde = JsonSerde()
+        self.stats = VehicleStats()
+        self._consumer: Optional[Consumer] = None
+        self._cancel_produce = None
+        self._cancel_poll = None
+        self._attach_consumer()
+
+    # ------------------------------------------------------------------
+    def _attach_consumer(self) -> None:
+        self._consumer = Consumer(
+            self.rsu.broker, group=None, client_id=f"vehicle-{self.car_id}"
+        )
+        self._consumer.subscribe([OUT_DATA])
+        self._consumer.seek_to_end()
+
+    def start(self, until: Optional[float] = None) -> None:
+        """Begin the produce and poll loops."""
+        if self._cancel_produce is not None:
+            raise RuntimeError(f"vehicle {self.car_id} already started")
+        # Desynchronise vehicles: each starts at a random phase within
+        # its first update period, as real beacons are unaligned.
+        phase = float(self._rng.uniform(0.0, self.update_period_s))
+        self._cancel_produce = self.sim.every(
+            self.update_period_s,
+            self._send_telemetry,
+            start=self.sim.now + phase,
+            until=until,
+            label=f"vehicle-{self.car_id}-produce",
+        )
+        self._cancel_poll = self.sim.every(
+            self.poll_interval_s,
+            self._poll_warnings,
+            start=self.sim.now + float(self._rng.uniform(0.0, self.poll_interval_s)),
+            until=until,
+            label=f"vehicle-{self.car_id}-poll",
+        )
+
+    def stop(self) -> None:
+        if self._cancel_produce is not None:
+            self._cancel_produce()
+            self._cancel_produce = None
+        if self._cancel_poll is not None:
+            self._cancel_poll()
+            self._cancel_poll = None
+
+    # ------------------------------------------------------------------
+    def migrate(self, new_rsu, new_channel: DsrcChannel) -> None:
+        """Handover: switch to a new RSU and its channel.
+
+        The caller is responsible for triggering the old RSU's
+        ``handover`` (CO-DATA summary transfer); the vehicle only
+        re-homes its producer and consumer.
+        """
+        self.rsu = new_rsu
+        self.channel = new_channel
+        self._attach_consumer()
+
+    def set_records(self, records: Iterable[TelemetryRecord]) -> None:
+        """Switch the replayed sub-dataset (paper: migrated producers
+        "start reading from the motorway link subdataset")."""
+        items = list(records)
+        if not items:
+            raise ValueError("record stream cannot be empty")
+        self._records = itertools.cycle(items)
+
+    # ------------------------------------------------------------------
+    def _send_telemetry(self) -> None:
+        record = next(self._records)
+        generated_at = self.sim.now
+        data = record_to_payload(record)
+        # Replayed records keep their dataset features but must carry
+        # *this* vehicle's identity, or warnings and handover summaries
+        # would key on the original dataset car.
+        data["car"] = self.car_id
+        envelope = {
+            "data": data,
+            "generated_at": generated_at,
+            "arrived_at": None,  # filled on delivery
+        }
+        size = len(self.serde.serialize(envelope))
+        delay = 0.0
+        if self.shaper is not None:
+            delay = self.shaper.send(f"vehicle-{self.car_id}", size, self.sim.now)
+
+        def transmit() -> None:
+            def deliver(at_time: float) -> None:
+                envelope["arrived_at"] = at_time
+                self.rsu.broker.produce(
+                    IN_DATA,
+                    self.serde.serialize(envelope),
+                    key=str(self.car_id).encode(),
+                    timestamp=at_time,
+                )
+
+            self.channel.transmit(size, deliver)
+
+        if delay > 0:
+            self.sim.after(delay, transmit, label=f"vehicle-{self.car_id}-htb")
+        else:
+            transmit()
+        self.stats.records_sent += 1
+        self.stats.bytes_sent += size
+
+    def _poll_warnings(self) -> None:
+        for record in self._consumer.poll():
+            if int(record.value.get("car", -1)) != self.car_id:
+                continue
+            jitter = float(
+                self._rng.uniform(-self.consumer_jitter_s, self.consumer_jitter_s)
+            )
+            handling = max(0.0, self.consumer_processing_s + jitter)
+            received_at = self.sim.now + handling
+            detected_at = float(record.value["t"])
+            generated_at = float(record.value["generated_at"])
+            self.stats.warnings_received += 1
+            self.stats.dissemination_latencies_s.append(received_at - detected_at)
+            self.stats.e2e_latencies_s.append(received_at - generated_at)
+
+    def __repr__(self) -> str:
+        return (
+            f"VehicleNode(car_id={self.car_id}, rsu={self.rsu.name!r}, "
+            f"sent={self.stats.records_sent})"
+        )

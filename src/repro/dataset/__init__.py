@@ -1,0 +1,73 @@
+"""Synthetic Shenzhen-like driving dataset.
+
+The paper trains and evaluates on a proprietary dataset of 3,306 private
+cars / 214,718 trips / 17.9 M trajectories collected in Shenzhen in July
+2016.  That data is not available, so this package generates a
+statistically calibrated substitute:
+
+- :mod:`repro.dataset.schema` — record types mirroring the paper's
+  Tables I (trips / trajectories) and II (preprocessed features).
+- :mod:`repro.dataset.speed_profiles` — per-road-type speed
+  distributions with hour-of-day / day-of-week modulation (Fig. 2).
+- :mod:`repro.dataset.drivers` — per-driver behaviour model with
+  persistent anomaly episodes (what makes collaboration pay off).
+- :mod:`repro.dataset.generator` — trip/trajectory/telemetry synthesis.
+- :mod:`repro.dataset.preprocess` — Eq. 4 speed/acceleration
+  derivation, erroneous-record filtering, sigma-cutoff labelling.
+- :mod:`repro.dataset.stats` — Table III-style dataset statistics.
+- :mod:`repro.dataset.io` — CSV round-tripping.
+"""
+
+from repro.dataset.drivers import DriverModel, DriverProfile
+from repro.dataset.extract import ExtractionReport, extract_trips
+from repro.dataset.generator import DatasetGenerator, GeneratorConfig, SyntheticDataset
+from repro.dataset.io import (
+    read_telemetry_csv,
+    read_trips_csv,
+    write_telemetry_csv,
+    write_trips_csv,
+)
+from repro.dataset.preprocess import (
+    FilterConfig,
+    Preprocessor,
+    SigmaCutoffLabeler,
+    derive_telemetry,
+)
+from repro.dataset.schema import (
+    ABNORMAL,
+    NORMAL,
+    AnomalyKind,
+    TelemetryRecord,
+    TrajectoryPoint,
+    Trip,
+)
+from repro.dataset.speed_profiles import SpeedProfile, SpeedProfileLibrary
+from repro.dataset.stats import DatasetStatistics, compute_statistics
+
+__all__ = [
+    "ABNORMAL",
+    "AnomalyKind",
+    "DatasetGenerator",
+    "DatasetStatistics",
+    "DriverModel",
+    "DriverProfile",
+    "ExtractionReport",
+    "FilterConfig",
+    "GeneratorConfig",
+    "NORMAL",
+    "Preprocessor",
+    "SigmaCutoffLabeler",
+    "SpeedProfile",
+    "SpeedProfileLibrary",
+    "SyntheticDataset",
+    "TelemetryRecord",
+    "TrajectoryPoint",
+    "Trip",
+    "compute_statistics",
+    "derive_telemetry",
+    "extract_trips",
+    "read_telemetry_csv",
+    "read_trips_csv",
+    "write_telemetry_csv",
+    "write_trips_csv",
+]

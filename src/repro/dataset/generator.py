@@ -1,0 +1,372 @@
+"""Synthetic trip / trajectory / telemetry generation.
+
+Substitute for the paper's proprietary Shenzhen private-car dataset.
+The generator produces three artefacts:
+
+- **Trips** with GPS trajectories (Table I shape) — used to exercise
+  the map-matching and Eq. 4 preprocessing path.
+- **Telemetry records** (Table II shape) — the feature rows consumed by
+  the detection models; produced directly at scale.
+- Per-record **ground-truth anomaly kinds** — what the paper's offline
+  sigma-cutoff labelling approximates.
+
+The behavioural structure that matters for CAD3 (persistent per-driver
+anomaly episodes spanning segment handovers) comes from
+:class:`repro.dataset.drivers.DriverModel`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataset.drivers import DriverModel, DriverProfile
+from repro.dataset.schema import AnomalyKind, TelemetryRecord, TrajectoryPoint, Trip
+from repro.dataset.speed_profiles import SpeedProfileLibrary
+from repro.geo.coords import LatLon
+from repro.geo.roadnet import RoadNetwork, RoadSegment, RoadType
+from repro.simkernel.rng import RngRegistry
+
+#: Seconds in a day; trips are placed inside a (day, hour) grid.
+DAY_S = 86_400.0
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for the synthetic dataset.
+
+    Defaults are sized for unit-test speed; experiment harnesses scale
+    ``n_cars`` / ``trips_per_car`` up to paper-sized workloads.
+    """
+
+    n_cars: int = 50
+    n_days: int = 7
+    trips_per_car: int = 4  # mean trips per car over the whole window
+    sample_period_s: float = 3.0  # telemetry sampling period
+    max_records_per_segment: int = 60
+    min_records_per_segment: int = 3
+    erroneous_rate: float = 0.01  # fraction of corrupted records
+    gps_noise_m: float = 8.0
+    seed: int = 42
+    #: Trip shape: "corridor" sends every trip motorway -> motorway
+    #: link (the microscopic use case); "random" walks the road graph;
+    #: "routed" Dijkstra-routes between random segments (connected
+    #: networks such as the grid city).
+    route_plan: str = "corridor"
+    route_length: int = 3  # segments per random-walk route
+
+    def __post_init__(self) -> None:
+        if self.n_cars < 1:
+            raise ValueError("n_cars must be >= 1")
+        if not 1 <= self.n_days <= 31:
+            raise ValueError("n_days must be in [1, 31]")
+        if self.sample_period_s <= 0:
+            raise ValueError("sample_period_s must be positive")
+        if not 0.0 <= self.erroneous_rate < 1.0:
+            raise ValueError("erroneous_rate must be in [0, 1)")
+        if self.route_plan not in ("corridor", "random", "routed"):
+            raise ValueError(f"unknown route_plan: {self.route_plan}")
+
+
+@dataclass
+class SyntheticDataset:
+    """The generator's output bundle."""
+
+    records: List[TelemetryRecord]
+    trips: List[Trip]
+    network: RoadNetwork
+    profiles: SpeedProfileLibrary
+    drivers: Dict[int, DriverProfile] = field(default_factory=dict)
+
+    def by_road_type(self, road_type: RoadType) -> List[TelemetryRecord]:
+        return [r for r in self.records if r.road_type is road_type]
+
+    def split(
+        self, train_fraction: float = 0.8, seed: int = 0
+    ) -> Tuple[List[TelemetryRecord], List[TelemetryRecord]]:
+        """Deterministic shuffled train/test split (paper uses 80/20)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        order = np.random.default_rng(seed).permutation(len(self.records))
+        cut = int(len(self.records) * train_fraction)
+        train = [self.records[i] for i in order[:cut]]
+        test = [self.records[i] for i in order[cut:]]
+        return train, test
+
+    def split_by_trip(
+        self, train_fraction: float = 0.8, seed: int = 0
+    ) -> Tuple[List[TelemetryRecord], List[TelemetryRecord]]:
+        """Split keeping each trip's records together.
+
+        The collaborative model consumes per-trip prediction history, so
+        its evaluation must not leak records of one trip across the
+        split.  Trips are keyed by the record's ``trip_id``.
+        """
+        by_trip: Dict[int, List[TelemetryRecord]] = {}
+        for record in self.records:
+            by_trip.setdefault(record.trip_id, []).append(record)
+        trips = [by_trip[tid] for tid in sorted(by_trip)]
+        order = np.random.default_rng(seed).permutation(len(trips))
+        cut = int(len(trips) * train_fraction)
+        train = [r for i in order[:cut] for r in trips[i]]
+        test = [r for i in order[cut:] for r in trips[i]]
+        return train, test
+
+
+class DatasetGenerator:
+    """Generate a :class:`SyntheticDataset` over a road network."""
+
+    #: Aggressiveness is Beta-distributed: most drivers are calm, a
+    #: long tail is aggressive.
+    AGGRESSIVENESS_ALPHA = 2.0
+    AGGRESSIVENESS_BETA = 5.0
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        config: Optional[GeneratorConfig] = None,
+        profiles: Optional[SpeedProfileLibrary] = None,
+    ) -> None:
+        self.network = network
+        self.config = config or GeneratorConfig()
+        self.profiles = profiles or SpeedProfileLibrary()
+        registry = RngRegistry(self.config.seed)
+        self._rng = registry.stream("dataset.generator")
+        self._driver_rng = registry.stream("dataset.drivers")
+        self._error_rng = registry.stream("dataset.errors")
+        self._router = None  # built lazily for the "routed" plan
+
+    # ------------------------------------------------------------------
+    # Drivers
+    # ------------------------------------------------------------------
+    def make_drivers(self) -> Dict[int, DriverProfile]:
+        drivers = {}
+        for car_id in range(1, self.config.n_cars + 1):
+            aggressiveness = float(
+                self._rng.beta(self.AGGRESSIVENESS_ALPHA, self.AGGRESSIVENESS_BETA)
+            )
+            bias = float(self._rng.normal(0.0, 3.0))
+            drivers[car_id] = DriverProfile(
+                car_id=car_id,
+                aggressiveness=aggressiveness,
+                speed_bias_kmh=bias,
+            )
+        return drivers
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def _corridor_route(self) -> List[RoadSegment]:
+        motorways = self.network.by_road_type(RoadType.MOTORWAY)
+        links = self.network.by_road_type(RoadType.MOTORWAY_LINK)
+        if not motorways or not links:
+            raise ValueError(
+                "corridor route plan needs motorway and motorway_link "
+                "segments in the network"
+            )
+        motorway = motorways[int(self._rng.integers(len(motorways)))]
+        link = links[int(self._rng.integers(len(links)))]
+        return [motorway, link]
+
+    def _random_route(self) -> List[RoadSegment]:
+        ids = self.network.segment_ids()
+        start = ids[int(self._rng.integers(len(ids)))]
+        route = [self.network.segment(start)]
+        current = start
+        for _ in range(self.config.route_length - 1):
+            neighbors = self.network.neighbors(current)
+            if not neighbors:
+                break
+            current = neighbors[int(self._rng.integers(len(neighbors)))]
+            route.append(self.network.segment(current))
+        return route
+
+    def _routed_route(self) -> List[RoadSegment]:
+        from repro.geo.router import RouteNotFound, Router
+
+        if self._router is None:
+            self._router = Router(self.network)
+        ids = self.network.segment_ids()
+        for _ in range(20):
+            source = ids[int(self._rng.integers(len(ids)))]
+            destination = ids[int(self._rng.integers(len(ids)))]
+            try:
+                path = self._router.route(source, destination)
+            except RouteNotFound:
+                continue
+            if len(path) >= 2:
+                return [self.network.segment(sid) for sid in path]
+        # Disconnected or degenerate network: fall back to a walk.
+        return self._random_route()
+
+    def _route(self) -> List[RoadSegment]:
+        if self.config.route_plan == "corridor":
+            return self._corridor_route()
+        if self.config.route_plan == "routed":
+            return self._routed_route()
+        return self._random_route()
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, with_trajectories: bool = False) -> SyntheticDataset:
+        """Produce the full dataset.
+
+        Parameters
+        ----------
+        with_trajectories:
+            Also synthesise per-trip GPS fixes (slower; used by the
+            map-matching / preprocessing path and its tests).
+        """
+        drivers = self.make_drivers()
+        records: List[TelemetryRecord] = []
+        trips: List[Trip] = []
+        trip_object_id = 1
+        for car_id, profile in drivers.items():
+            model = DriverModel(profile, self._driver_rng)
+            n_trips = max(
+                1, int(self._rng.poisson(self.config.trips_per_car))
+            )
+            for _ in range(n_trips):
+                day = int(self._rng.integers(1, self.config.n_days + 1))
+                hour = self._sample_trip_hour()
+                route = self._route()
+                trip_records, trip = self._generate_trip(
+                    trip_object_id,
+                    car_id,
+                    model,
+                    route,
+                    day,
+                    hour,
+                    with_trajectories,
+                )
+                records.extend(trip_records)
+                if trip is not None:
+                    trips.append(trip)
+                trip_object_id += 1
+        return SyntheticDataset(
+            records=records,
+            trips=trips,
+            network=self.network,
+            profiles=self.profiles,
+            drivers=drivers,
+        )
+
+    def _sample_trip_hour(self) -> int:
+        """Trip start hours concentrate at rush hours (bimodal)."""
+        if self._rng.random() < 0.6:
+            center = 8.0 if self._rng.random() < 0.5 else 18.0
+            hour = int(round(self._rng.normal(center, 2.0)))
+        else:
+            hour = int(self._rng.integers(0, 24))
+        return min(23, max(0, hour))
+
+    def _generate_trip(
+        self,
+        object_id: int,
+        car_id: int,
+        model: DriverModel,
+        route: Sequence[RoadSegment],
+        day: int,
+        hour: int,
+        with_trajectories: bool,
+    ) -> Tuple[List[TelemetryRecord], Optional[Trip]]:
+        config = self.config
+        model.begin_trip()
+        records: List[TelemetryRecord] = []
+        fixes: List[TrajectoryPoint] = []
+        weekend = TelemetryRecord(
+            car_id=car_id,
+            road_id=route[0].segment_id,
+            accel_ms2=0.0,
+            speed_kmh=0.0,
+            hour=hour,
+            day=day,
+            road_type=route[0].road_type,
+            road_mean_speed_kmh=1.0,
+        ).is_weekend
+        start_time = (day - 1) * DAY_S + hour * 3600.0
+        clock = start_time
+        for leg_index, segment in enumerate(route):
+            if leg_index > 0:
+                model.on_segment_change()
+            profile = self.profiles.profile(segment.road_type, hour, weekend)
+            n_samples = self._samples_for_segment(segment, profile.mean_kmh)
+            offset_m = 0.0
+            for _ in range(n_samples):
+                speed = model.sample_speed(profile.mean_kmh, profile.sigma_kmh)
+                accel = model.sample_accel(profile.sigma_kmh, config.sample_period_s)
+                speed, accel = self._maybe_corrupt(speed, accel)
+                records.append(
+                    TelemetryRecord(
+                        car_id=car_id,
+                        road_id=segment.segment_id,
+                        accel_ms2=accel,
+                        speed_kmh=speed,
+                        hour=hour,
+                        day=day,
+                        road_type=segment.road_type,
+                        road_mean_speed_kmh=profile.mean_kmh,
+                        anomaly_kind=model.anomaly_kind,
+                        timestamp=clock,
+                        trip_id=object_id,
+                    )
+                )
+                if with_trajectories:
+                    point = segment.point_at(offset_m)
+                    fixes.append(self._noisy_fix(object_id, point, clock))
+                offset_m += (speed / 3.6) * config.sample_period_s
+                clock += config.sample_period_s
+        trip = None
+        if with_trajectories and fixes:
+            trip = Trip(
+                object_id=object_id,
+                car_id=car_id,
+                start_time=start_time,
+                stop_time=clock,
+                start_lon=fixes[0].lon,
+                start_lat=fixes[0].lat,
+                stop_lon=fixes[-1].lon,
+                stop_lat=fixes[-1].lat,
+                mileage_km=sum(seg.length_m for seg in route) / 1000.0,
+                trajectory=fixes,
+            )
+        return records, trip
+
+    def _samples_for_segment(
+        self, segment: RoadSegment, mean_speed_kmh: float
+    ) -> int:
+        """Telemetry samples for one traversal, from traversal time."""
+        config = self.config
+        traversal_s = segment.length_m / max(mean_speed_kmh / 3.6, 1.0)
+        n_samples = int(traversal_s / config.sample_period_s)
+        return max(
+            config.min_records_per_segment,
+            min(config.max_records_per_segment, n_samples),
+        )
+
+    def _maybe_corrupt(self, speed: float, accel: float) -> Tuple[float, float]:
+        """Inject the erroneous measurements the paper filters out."""
+        if self._error_rng.random() >= self.config.erroneous_rate:
+            return speed, accel
+        mode = self._error_rng.integers(3)
+        if mode == 0:
+            return float(self._error_rng.uniform(400.0, 1000.0)), accel
+        if mode == 1:
+            return speed, float(self._error_rng.uniform(25.0, 80.0))
+        return 0.0, 0.0  # stuck-sensor reading
+
+    def _noisy_fix(
+        self, object_id: int, point: LatLon, timestamp: float
+    ) -> TrajectoryPoint:
+        # ~1e-5 degrees per metre at Shenzhen's latitude.
+        noise_deg = self.config.gps_noise_m * 1e-5
+        return TrajectoryPoint(
+            object_id=object_id,
+            lon=point.lon + float(self._rng.normal(0.0, noise_deg)),
+            lat=point.lat + float(self._rng.normal(0.0, noise_deg)),
+            gps_time=timestamp,
+        )

@@ -1,0 +1,117 @@
+"""Per-road-type speed profiles with spatio-temporal modulation.
+
+The paper's Fig. 2 shows that the speed profile of a road type varies
+with the hour of the day (rush hours vs. off-peak), the day of the week
+(weekday vs. weekend), and the road type (motorway vs. motorway link).
+This module encodes those Gaussian-like profiles.  Base means follow
+the paper's Table III (motorway 160 km/h, motorway link 115 km/h after
+filtering); modulation shapes follow Fig. 2: weekday double-dip at the
+7-9 h and 17-19 h rush hours, a flatter weekend curve, and a night-time
+free-flow plateau.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.geo.roadnet import FREE_FLOW_KMH, RoadType
+
+#: Relative speed standard deviation (sigma / mean) per road type.
+RELATIVE_SIGMA: Dict[RoadType, float] = {
+    RoadType.MOTORWAY: 0.12,
+    RoadType.MOTORWAY_LINK: 0.16,
+    RoadType.TRUNK: 0.16,
+    RoadType.TRUNK_LINK: 0.18,
+    RoadType.PRIMARY: 0.18,
+    RoadType.PRIMARY_LINK: 0.20,
+    RoadType.SECONDARY: 0.20,
+    RoadType.SECONDARY_LINK: 0.22,
+    RoadType.TERTIARY: 0.22,
+    RoadType.RESIDENTIAL: 0.25,
+}
+
+#: Depth of the weekday rush-hour dip, as a fraction of the base mean.
+WEEKDAY_RUSH_DIP = 0.30
+#: Depth of the weekend midday dip (weekends peak later and shallower).
+WEEKEND_MIDDAY_DIP = 0.15
+#: Night-time speed uplift (free flow).
+NIGHT_UPLIFT = 0.05
+
+
+def _gaussian_bump(hour: float, center: float, width: float) -> float:
+    return math.exp(-0.5 * ((hour - center) / width) ** 2)
+
+
+@dataclass(frozen=True)
+class SpeedProfile:
+    """The normal-speed distribution of one road type at one time."""
+
+    road_type: RoadType
+    hour: int
+    weekend: bool
+    mean_kmh: float
+    sigma_kmh: float
+
+    def zscore(self, speed_kmh: float) -> float:
+        return (speed_kmh - self.mean_kmh) / self.sigma_kmh
+
+
+class SpeedProfileLibrary:
+    """Profiles for every (road type, hour, weekend) combination.
+
+    The library answers two questions:
+
+    - what is the *normal* speed distribution here and now (used by the
+      generator to synthesise normal traffic and by the sigma-cutoff
+      labeller as ground truth), and
+    - how far a given speed deviates from normal (z-score).
+    """
+
+    def __init__(self, base_means_kmh: Dict[RoadType, float] = None) -> None:
+        self._base_means = dict(FREE_FLOW_KMH)
+        if base_means_kmh:
+            self._base_means.update(base_means_kmh)
+
+    def modulation(self, hour: int, weekend: bool) -> float:
+        """Multiplicative factor on the base mean at (hour, weekend).
+
+        Weekdays dip at the 8 h and 18 h rush hours; weekends dip
+        mildly around 14 h; nights (0-5 h) run slightly above base.
+        """
+        if not 0 <= hour <= 23:
+            raise ValueError(f"hour out of range: {hour}")
+        factor = 1.0
+        if weekend:
+            factor -= WEEKEND_MIDDAY_DIP * _gaussian_bump(hour, 14.0, 3.0)
+        else:
+            factor -= WEEKDAY_RUSH_DIP * _gaussian_bump(hour, 8.0, 1.5)
+            factor -= WEEKDAY_RUSH_DIP * _gaussian_bump(hour, 18.0, 1.5)
+        if hour <= 5:
+            factor += NIGHT_UPLIFT
+        return factor
+
+    def profile(
+        self, road_type: RoadType, hour: int, weekend: bool
+    ) -> SpeedProfile:
+        base = self._base_means[road_type]
+        mean = base * self.modulation(hour, weekend)
+        sigma = base * RELATIVE_SIGMA[road_type]
+        return SpeedProfile(
+            road_type=road_type,
+            hour=hour,
+            weekend=weekend,
+            mean_kmh=mean,
+            sigma_kmh=sigma,
+        )
+
+    def base_mean(self, road_type: RoadType) -> float:
+        return self._base_means[road_type]
+
+    def hourly_means(self, road_type: RoadType, weekend: bool) -> list:
+        """The 24-value hourly mean-speed series (one Fig. 2 curve)."""
+        return [
+            self.profile(road_type, hour, weekend).mean_kmh
+            for hour in range(24)
+        ]

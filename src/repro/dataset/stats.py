@@ -1,0 +1,92 @@
+"""Dataset statistics (the paper's Table III).
+
+Table III reports, per region/road-type after filtering: number of
+cars, number of trips, mean speed, and number of trajectory records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dataset.schema import TelemetryRecord
+from repro.geo.roadnet import RoadType
+
+
+@dataclass(frozen=True)
+class RegionStats:
+    """One Table III row."""
+
+    name: str
+    n_cars: int
+    n_trips: int
+    mean_speed_kmh: float
+    n_trajectories: int
+
+
+@dataclass
+class DatasetStatistics:
+    """Computed Table III: an overall row plus one row per road type."""
+
+    overall: RegionStats
+    per_road_type: Dict[RoadType, RegionStats]
+
+    def rows(self) -> List[RegionStats]:
+        ordered = [self.overall]
+        for road_type in RoadType:
+            if road_type in self.per_road_type:
+                ordered.append(self.per_road_type[road_type])
+        return ordered
+
+    def format_table(self) -> str:
+        """Render in the paper's Table III layout."""
+        lines = [
+            f"{'Region':<16}{'#Cars':>8}{'#Trips':>10}"
+            f"{'MeanSpeed':>11}{'#Trajectories':>15}"
+        ]
+        for row in self.rows():
+            lines.append(
+                f"{row.name:<16}{row.n_cars:>8}{row.n_trips:>10}"
+                f"{row.mean_speed_kmh:>11.1f}{row.n_trajectories:>15}"
+            )
+        return "\n".join(lines)
+
+
+def _trip_count(records: Sequence[TelemetryRecord]) -> int:
+    """Count distinct generating trips via the records' ``trip_id``."""
+    return len({r.trip_id for r in records})
+
+
+def _region(name: str, records: Sequence[TelemetryRecord]) -> RegionStats:
+    speeds = np.array([r.speed_kmh for r in records]) if records else np.array([0.0])
+    return RegionStats(
+        name=name,
+        n_cars=len({r.car_id for r in records}),
+        n_trips=_trip_count(records),
+        mean_speed_kmh=float(speeds.mean()) if len(records) else 0.0,
+        n_trajectories=len(records),
+    )
+
+
+def compute_statistics(
+    records: Sequence[TelemetryRecord],
+    region_name: str = "Shenzhen",
+    road_types: Optional[Sequence[RoadType]] = None,
+) -> DatasetStatistics:
+    """Compute Table III over ``records``.
+
+    ``road_types`` defaults to every type present in the data.
+    """
+    overall = _region(region_name, records)
+    present = road_types or sorted(
+        {r.road_type for r in records}, key=lambda rt: rt.value
+    )
+    per_type = {}
+    for road_type in present:
+        subset = [r for r in records if r.road_type is road_type]
+        per_type[road_type] = _region(
+            road_type.value.replace("_", " ").title(), subset
+        )
+    return DatasetStatistics(overall=overall, per_road_type=per_type)

@@ -1,0 +1,41 @@
+"""Macroscopic deployment planning (Sec. VII-D, Tables V-VI, Fig. 9).
+
+The paper assesses real-world feasibility by (a) counting the RSUs a
+city-scale deployment needs per road type given vehicle density and
+road lengths (Table V), (b) measuring the spacing of existing roadside
+infrastructure — traffic lights and lamp poles — that could host the
+RSUs (Table VI), and (c) checking coverage of the road network by that
+infrastructure (Fig. 9).  This package reproduces all three analyses
+over the synthetic city.
+"""
+
+from repro.deploy.infrastructure import (
+    TABLE_VI_SPECS,
+    InfrastructureKind,
+    InfrastructureSpacing,
+    RoadsideInfrastructure,
+    SpacingSpec,
+    SyntheticInfrastructure,
+    format_table_vi,
+)
+from repro.deploy.placement import (
+    PlacementPlan,
+    RoadTypePlacement,
+    RsuPlacementPlanner,
+)
+from repro.deploy.coverage import CoverageReport, assess_coverage
+
+__all__ = [
+    "CoverageReport",
+    "InfrastructureKind",
+    "InfrastructureSpacing",
+    "PlacementPlan",
+    "RoadTypePlacement",
+    "RoadsideInfrastructure",
+    "RsuPlacementPlanner",
+    "SpacingSpec",
+    "SyntheticInfrastructure",
+    "TABLE_VI_SPECS",
+    "assess_coverage",
+    "format_table_vi",
+]

@@ -1,0 +1,105 @@
+"""Coverage feasibility (the paper's Fig. 9).
+
+Fig. 9 overlays existing roadside infrastructure on the road network
+and marks the regions (gray circles) where no street furniture is
+close enough to host an RSU — the spots requiring new installations.
+This module computes the same assessment in summary form: per-road
+coverage by infrastructure within DSRC range, and the list of roads
+needing dedicated RSU installs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.deploy.infrastructure import RoadsideInfrastructure
+from repro.geo.roadnet import RoadNetwork
+
+#: A conservative DSRC radius ("a range of a few hundred meters").
+DEFAULT_DSRC_RANGE_M = 300.0
+
+
+@dataclass
+class CoverageReport:
+    """Result of :func:`assess_coverage`."""
+
+    dsrc_range_m: float
+    per_road_coverage: Dict[int, float] = field(default_factory=dict)
+    uncovered_road_ids: List[int] = field(default_factory=list)
+    total_length_m: float = 0.0
+    covered_length_m: float = 0.0
+
+    @property
+    def covered_fraction(self) -> float:
+        if self.total_length_m == 0:
+            return 0.0
+        return self.covered_length_m / self.total_length_m
+
+    @property
+    def n_uncovered_roads(self) -> int:
+        return len(self.uncovered_road_ids)
+
+    def format_summary(self) -> str:
+        return (
+            f"coverage: {self.covered_fraction:.1%} of "
+            f"{self.total_length_m / 1000:.0f} km road length within "
+            f"{self.dsrc_range_m:.0f} m of existing infrastructure; "
+            f"{self.n_uncovered_roads} roads need new RSU installs"
+        )
+
+
+def _covered_length(
+    road_length_m: float, offsets: List[float], dsrc_range_m: float
+) -> float:
+    """Length of a road covered by units at ``offsets`` (interval
+    union of [offset - range, offset + range] clamped to the road)."""
+    if not offsets:
+        return 0.0
+    intervals = [
+        (max(0.0, o - dsrc_range_m), min(road_length_m, o + dsrc_range_m))
+        for o in sorted(offsets)
+    ]
+    covered = 0.0
+    current_start, current_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start <= current_end:
+            current_end = max(current_end, end)
+        else:
+            covered += current_end - current_start
+            current_start, current_end = start, end
+    covered += current_end - current_start
+    return covered
+
+
+def assess_coverage(
+    network: RoadNetwork,
+    infrastructures: List[RoadsideInfrastructure],
+    dsrc_range_m: float = DEFAULT_DSRC_RANGE_M,
+) -> CoverageReport:
+    """Fraction of each road within DSRC range of any infrastructure.
+
+    Roads with zero coverage are the Fig. 9 "gray circle" locations
+    that require dedicated RSU installation.
+    """
+    if dsrc_range_m <= 0:
+        raise ValueError("DSRC range must be positive")
+    report = CoverageReport(dsrc_range_m=dsrc_range_m)
+    offsets_by_road: Dict[int, List[float]] = {}
+    for infrastructure in infrastructures:
+        for road_id, offset in infrastructure.positions:
+            offsets_by_road.setdefault(road_id, []).append(offset)
+    for segment in network.segments():
+        covered = _covered_length(
+            segment.length_m,
+            offsets_by_road.get(segment.segment_id, []),
+            dsrc_range_m,
+        )
+        fraction = covered / segment.length_m if segment.length_m > 0 else 0.0
+        report.per_road_coverage[segment.segment_id] = fraction
+        report.total_length_m += segment.length_m
+        report.covered_length_m += covered
+        if fraction == 0.0:
+            report.uncovered_road_ids.append(segment.segment_id)
+    report.uncovered_road_ids.sort()
+    return report

@@ -1,0 +1,189 @@
+"""Roadside infrastructure (the paper's Table VI).
+
+The paper pulls traffic-signal and lamp-pole locations from
+OpenStreetMap and reports their relative spacing: the deployment idea
+is to co-locate edge nodes with existing street furniture.  We
+synthesise infrastructure along the synthetic road network with
+spacing distributions calibrated to Table VI:
+
+    Traffic light: count 3,278, AVG 244.57 m, STD 299.7, 75% 444.2, MAX 999.5
+    Lamp poles:    count   520, AVG  71.9 m, STD  82.8, 75% 100,   MAX 116
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geo.roadnet import RoadNetwork, RoadType
+from repro.simkernel.rng import RngRegistry
+
+
+class InfrastructureKind(enum.Enum):
+    TRAFFIC_LIGHT = "traffic_light"
+    LAMP_POLE = "lamp_pole"
+
+
+@dataclass(frozen=True)
+class SpacingSpec:
+    """Target spacing distribution for one infrastructure kind."""
+
+    count: int
+    mean_m: float
+    std_m: float
+    max_m: float
+
+
+#: Table VI of the paper.
+TABLE_VI_SPECS: Dict[InfrastructureKind, SpacingSpec] = {
+    InfrastructureKind.TRAFFIC_LIGHT: SpacingSpec(3278, 244.57, 299.7, 999.5),
+    InfrastructureKind.LAMP_POLE: SpacingSpec(520, 71.9, 82.8, 116.0),
+}
+
+
+@dataclass(frozen=True)
+class InfrastructureSpacing:
+    """One Table VI row, computed from actual placements."""
+
+    kind: InfrastructureKind
+    count: int
+    avg_m: float
+    std_m: float
+    p75_m: float
+    max_m: float
+
+    def format_row(self) -> str:
+        return (
+            f"{self.kind.value:<16}{self.count:>7}{self.avg_m:>10.2f}"
+            f"{self.std_m:>10.1f}{self.p75_m:>10.1f}{self.max_m:>10.1f}"
+        )
+
+
+@dataclass
+class RoadsideInfrastructure:
+    """Placed infrastructure: (road id, along-road offset) points."""
+
+    kind: InfrastructureKind
+    positions: List[Tuple[int, float]] = field(default_factory=list)
+
+    def on_road(self, road_id: int) -> List[float]:
+        return sorted(
+            offset for rid, offset in self.positions if rid == road_id
+        )
+
+    def spacings(self) -> List[float]:
+        """Gaps between consecutive units along each road."""
+        gaps: List[float] = []
+        by_road: Dict[int, List[float]] = {}
+        for road_id, offset in self.positions:
+            by_road.setdefault(road_id, []).append(offset)
+        for offsets in by_road.values():
+            offsets.sort()
+            gaps.extend(b - a for a, b in zip(offsets, offsets[1:]))
+        return gaps
+
+    def spacing_statistics(self) -> InfrastructureSpacing:
+        gaps = np.array(self.spacings())
+        if gaps.size == 0:
+            return InfrastructureSpacing(self.kind, len(self.positions), 0, 0, 0, 0)
+        return InfrastructureSpacing(
+            kind=self.kind,
+            count=len(self.positions),
+            avg_m=float(gaps.mean()),
+            std_m=float(gaps.std()),
+            p75_m=float(np.percentile(gaps, 75)),
+            max_m=float(gaps.max()),
+        )
+
+
+class SyntheticInfrastructure:
+    """Place infrastructure along a network to match Table VI.
+
+    Spacing draws come from a lognormal fitted to the target mean/STD,
+    truncated at the target maximum (OSM's Shenzhen extract shows the
+    same truncation — no recorded gap above ~1 km for lights).
+    """
+
+    def __init__(self, seed: int = 13) -> None:
+        self._rng = RngRegistry(seed).stream("deploy.infrastructure")
+
+    def generate(
+        self,
+        network: RoadNetwork,
+        kind: InfrastructureKind,
+        spec: Optional[SpacingSpec] = None,
+        road_types: Optional[List[RoadType]] = None,
+    ) -> RoadsideInfrastructure:
+        """Walk roads, dropping units at sampled gaps, until the
+        target count is placed."""
+        spec = spec or TABLE_VI_SPECS[kind]
+        eligible = [
+            seg
+            for seg in network.segments()
+            if road_types is None or seg.road_type in road_types
+        ]
+        if not eligible:
+            raise ValueError("network has no eligible roads")
+        # Longest roads first: street furniture concentrates on major
+        # roads, and long roads can host full spacing sequences.
+        eligible.sort(key=lambda seg: -seg.length_m)
+        infrastructure = RoadsideInfrastructure(kind=kind)
+        placed = 0
+        mu, sigma = self._calibrated_params(spec)
+        road_index = 0
+        while placed < spec.count and road_index < len(eligible):
+            segment = eligible[road_index]
+            road_index += 1
+            offset = float(self._sample_gap(mu, sigma, spec.max_m))
+            while offset < segment.length_m and placed < spec.count:
+                infrastructure.positions.append((segment.segment_id, offset))
+                placed += 1
+                offset += float(self._sample_gap(mu, sigma, spec.max_m))
+        return infrastructure
+
+    def _sample_gap(self, mu: float, sigma: float, max_m: float) -> float:
+        for _ in range(100):
+            gap = self._rng.lognormal(mu, sigma)
+            if gap <= max_m:
+                return max(gap, 1.0)
+        return max_m
+
+    def _calibrated_params(self, spec: SpacingSpec) -> Tuple[float, float]:
+        """Fit (mu, sigma) so the max-truncated draws match the spec.
+
+        Rejection at ``max_m`` drags the realised mean below the raw
+        lognormal mean, so a plain moment fit lands short of Table VI.
+        A few fixed-point rounds scaling mu against the empirically
+        measured truncated mean fix that.
+        """
+        mu, sigma = self._lognormal_params(spec.mean_m, spec.std_m)
+        probe = np.random.default_rng(0)
+        for _ in range(6):
+            draws = probe.lognormal(mu, sigma, 20_000)
+            kept = draws[draws <= spec.max_m]
+            if kept.size == 0:
+                break
+            realised = float(np.maximum(kept, 1.0).mean())
+            if abs(realised - spec.mean_m) / spec.mean_m < 0.02:
+                break
+            mu += math.log(spec.mean_m / realised)
+        return (mu, sigma)
+
+    @staticmethod
+    def _lognormal_params(mean: float, std: float) -> Tuple[float, float]:
+        variance_ratio = (std / mean) ** 2
+        sigma2 = math.log1p(variance_ratio)
+        return (math.log(mean) - sigma2 / 2.0, math.sqrt(sigma2))
+
+
+def format_table_vi(rows: List[InfrastructureSpacing]) -> str:
+    """Render Table VI."""
+    header = (
+        f"{'RSU host':<16}{'count':>7}{'AVG(m)':>10}{'STD(m)':>10}"
+        f"{'75%(m)':>10}{'MAX(m)':>10}"
+    )
+    return "\n".join([header] + [row.format_row() for row in rows])

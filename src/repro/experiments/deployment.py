@@ -1,0 +1,102 @@
+"""Table V / Table VI / Fig. 9: macroscopic deployment analyses."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.deploy.coverage import CoverageReport, assess_coverage
+from repro.deploy.infrastructure import (
+    TABLE_VI_SPECS,
+    InfrastructureKind,
+    InfrastructureSpacing,
+    RoadsideInfrastructure,
+    SpacingSpec,
+    SyntheticInfrastructure,
+)
+from repro.deploy.placement import PlacementPlan, RsuPlacementPlanner
+from repro.geo.network_builder import (
+    TABLE_V_SPECS,
+    CityNetworkBuilder,
+    NetworkSpec,
+)
+from repro.geo.roadnet import RoadNetwork
+
+#: The paper's full-city trunk inventory ("our dataset contains 51,129
+#: individual road trunks for the city of Shenzhen").
+SHENZHEN_ROAD_TRUNKS = 51_129
+
+
+def build_city(
+    seed: int = 3, count_scale: float = 1.0
+) -> RoadNetwork:
+    """The synthetic Shenzhen used by all deployment analyses."""
+    return CityNetworkBuilder(seed=seed).build_city(
+        NetworkSpec(count_scale=count_scale)
+    )
+
+
+def table5_placement(
+    network: Optional[RoadNetwork] = None, seed: int = 3
+) -> PlacementPlan:
+    """Table V: RSUs required per road type."""
+    network = network or build_city(seed=seed)
+    density = {
+        road_type: spec.traffic_density
+        for road_type, spec in TABLE_V_SPECS.items()
+    }
+    return RsuPlacementPlanner().plan(network, density)
+
+
+def city_scale_capacity(vehicles_per_rsu: int = 256) -> int:
+    """The paper's 13-million-vehicle claim: one RSU per road trunk
+    times the demonstrated per-RSU capacity."""
+    return SHENZHEN_ROAD_TRUNKS * vehicles_per_rsu
+
+
+def table6_infrastructure(
+    network: Optional[RoadNetwork] = None,
+    seed: int = 13,
+    count_scale: float = 1.0,
+) -> Tuple[List[InfrastructureSpacing], List[RoadsideInfrastructure]]:
+    """Table VI: spacing statistics of synthetic street furniture.
+
+    ``count_scale`` scales unit counts together with a scaled city.
+    Returns (spacing rows, placed infrastructure) so Fig. 9 can reuse
+    the placements.
+    """
+    network = network or build_city(seed=seed)
+    generator = SyntheticInfrastructure(seed=seed)
+    rows = []
+    placements = []
+    for kind in (InfrastructureKind.TRAFFIC_LIGHT, InfrastructureKind.LAMP_POLE):
+        base = TABLE_VI_SPECS[kind]
+        spec = SpacingSpec(
+            count=max(1, int(base.count * count_scale)),
+            mean_m=base.mean_m,
+            std_m=base.std_m,
+            max_m=base.max_m,
+        )
+        placement = generator.generate(network, kind, spec=spec)
+        placements.append(placement)
+        rows.append(placement.spacing_statistics())
+    return rows, placements
+
+
+def fig9_coverage(
+    network: Optional[RoadNetwork] = None,
+    seed: int = 13,
+    dsrc_range_m: float = 300.0,
+    infrastructure_scale: float = 4.0,
+) -> CoverageReport:
+    """Fig. 9: how much of the city existing infrastructure covers.
+
+    The paper's OSM extract under-reports street furniture (520 mapped
+    lamp poles for a 12-million city) yet concludes the real furniture
+    "almost covers the entire city"; ``infrastructure_scale``
+    compensates for that under-reporting when assessing coverage.
+    """
+    network = network or build_city(seed=seed)
+    _, placements = table6_infrastructure(
+        network=network, seed=seed, count_scale=infrastructure_scale
+    )
+    return assess_coverage(network, placements, dsrc_range_m=dsrc_range_m)

@@ -1,0 +1,67 @@
+"""Eq. 5-6: analytic medium-access times.
+
+Reproduces the paper's two quoted numbers (92.62 ms at "MCS 3",
+54.28 ms at "MCS 8" for 256 vehicles) and the Sec. VII-B dense-
+deployment claim (400 vehicles under 85 ms at MCS 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.net.dsrc import (
+    PAPER_MCS_3,
+    PAPER_MCS_8,
+    DsrcMacModel,
+    McsScheme,
+)
+
+
+@dataclass
+class Eq5Row:
+    """Access time for one (vehicle count, MCS) point."""
+
+    n_vehicles: int
+    mcs_name: str
+    data_rate_mbps: float
+    access_time_ms: float
+    fits_10hz: bool
+
+    def format_row(self) -> str:
+        ok = "yes" if self.fits_10hz else "NO"
+        return (
+            f"{self.n_vehicles:>5} vehicles @ {self.mcs_name:<6} "
+            f"({self.data_rate_mbps:4.1f} Mb/s): "
+            f"{self.access_time_ms:7.2f} ms  fits 10 Hz: {ok}"
+        )
+
+
+def eq5_access_times(
+    vehicle_counts: Sequence[int] = (8, 64, 256, 400),
+    schemes: Sequence[McsScheme] = (PAPER_MCS_3, PAPER_MCS_8),
+    payload_bytes: int = 200,
+    model: DsrcMacModel = None,
+) -> List[Eq5Row]:
+    """Evaluate Eq. 5 over a (count, MCS) grid."""
+    model = model or DsrcMacModel()
+    rows = []
+    for mcs in schemes:
+        for count in vehicle_counts:
+            access = model.channel_access_time_s(count, mcs, payload_bytes)
+            rows.append(
+                Eq5Row(
+                    n_vehicles=count,
+                    mcs_name=f"MCS {mcs.index}",
+                    data_rate_mbps=mcs.data_rate_bps / 1e6,
+                    access_time_ms=access * 1e3,
+                    fits_10hz=model.supports_update_rate(
+                        count, 10.0, mcs, payload_bytes
+                    ),
+                )
+            )
+    return rows
+
+
+def format_eq5(rows: List[Eq5Row]) -> str:
+    return "\n".join(row.format_row() for row in rows)

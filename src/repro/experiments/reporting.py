@@ -1,0 +1,84 @@
+"""Terminal-friendly rendering for experiment results.
+
+The paper's figures are line/bar charts; these helpers render the same
+series as Unicode sparklines and horizontal bars so the examples and
+CLI can show *shape* directly in a terminal, with no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+#: Eighth-block ramp for sparklines.
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    minimum: Optional[float] = None,
+    maximum: Optional[float] = None,
+) -> str:
+    """Render a series as a one-line Unicode sparkline.
+
+    NaNs render as spaces.  ``minimum``/``maximum`` pin the scale
+    (defaulting to the finite data range).
+    """
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return " " * len(values)
+    lo = minimum if minimum is not None else min(finite)
+    hi = maximum if maximum is not None else max(finite)
+    span = hi - lo
+    chars = []
+    for value in values:
+        if math.isnan(value):
+            chars.append(" ")
+            continue
+        if span <= 0:
+            chars.append(_BLOCKS[0])
+            continue
+        fraction = (value - lo) / span
+        index = min(len(_BLOCKS) - 1, max(0, int(fraction * len(_BLOCKS))))
+        chars.append(_BLOCKS[index])
+    return "".join(chars)
+
+
+def horizontal_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render labelled values as proportional horizontal bars."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"labels ({len(labels)}) and values ({len(values)}) disagree"
+        )
+    if not values:
+        return ""
+    peak = max(values)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = 0 if peak <= 0 else int(round(width * value / peak))
+        bar = "█" * filled
+        lines.append(
+            f"{label:<{label_width}} │{bar:<{width}}│ "
+            f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def series_with_axis(
+    values: Sequence[float], label: str = "", unit: str = ""
+) -> str:
+    """A sparkline annotated with its min/max scale."""
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return f"{label} (no data)"
+    return (
+        f"{label} [{min(finite):g}..{max(finite):g}{unit}]  "
+        f"{sparkline(values)}"
+    )

@@ -1,0 +1,47 @@
+"""Geographic substrate.
+
+The paper extracts Shenzhen trips from raw GPS, map-matches them onto
+the OSM road network (Newson & Krumm HMM map matching), and derives
+per-road speed context.  This package provides the same primitives:
+
+- :mod:`repro.geo.coords` — WGS-84 points and projections.
+- :mod:`repro.geo.distance` — great-circle (haversine) distance, the
+  ``Dist`` function of the paper's Eq. 4.
+- :mod:`repro.geo.roadnet` — road segments, road types, and the road
+  graph.
+- :mod:`repro.geo.network_builder` — synthetic Shenzhen-like road
+  network generation (substitute for the proprietary OSM extract).
+- :mod:`repro.geo.mapmatch` — HMM map matching of noisy GPS traces onto
+  the road graph.
+"""
+
+from repro.geo.coords import BoundingBox, LatLon, destination_point
+from repro.geo.distance import (
+    EARTH_RADIUS_M,
+    bearing_deg,
+    haversine_m,
+    path_length_m,
+)
+from repro.geo.mapmatch import HmmMapMatcher, MapMatchResult
+from repro.geo.network_builder import CityNetworkBuilder, NetworkSpec
+from repro.geo.roadnet import RoadNetwork, RoadSegment, RoadType
+from repro.geo.router import RouteNotFound, Router
+
+__all__ = [
+    "BoundingBox",
+    "CityNetworkBuilder",
+    "EARTH_RADIUS_M",
+    "HmmMapMatcher",
+    "LatLon",
+    "MapMatchResult",
+    "NetworkSpec",
+    "RoadNetwork",
+    "RoadSegment",
+    "RoadType",
+    "RouteNotFound",
+    "Router",
+    "bearing_deg",
+    "destination_point",
+    "haversine_m",
+    "path_length_m",
+]

@@ -1,0 +1,53 @@
+"""Great-circle geometry.
+
+The paper's Eq. 4 computes instantaneous vehicle speed as the
+great-circle distance between consecutive GPS fixes divided by the time
+delta; :func:`haversine_m` is that ``Dist`` function.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Tuple
+
+#: Mean Earth radius in metres (IUGG).
+EARTH_RADIUS_M = 6_371_008.8
+
+
+def haversine_m(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> float:
+    """Great-circle distance in metres between two WGS-84 points."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+def bearing_deg(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Initial bearing from point 1 to point 2, degrees in [0, 360)."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dlam = math.radians(lon2 - lon1)
+    y = math.sin(dlam) * math.cos(phi2)
+    x = math.cos(phi1) * math.sin(phi2) - math.sin(phi1) * math.cos(
+        phi2
+    ) * math.cos(dlam)
+    return (math.degrees(math.atan2(y, x)) + 360.0) % 360.0
+
+
+def path_length_m(points: Iterable[Tuple[float, float]]) -> float:
+    """Total haversine length of a (lat, lon) polyline in metres."""
+    total = 0.0
+    prev = None
+    for lat, lon in points:
+        if prev is not None:
+            total += haversine_m(prev[0], prev[1], lat, lon)
+        prev = (lat, lon)
+    return total

@@ -1,0 +1,273 @@
+"""Synthetic Shenzhen-like road-network generation.
+
+The paper extracts Shenzhen's road network from OpenStreetMap; that
+extract is not redistributable, so we synthesise a city whose *summary
+statistics* match the paper's Table V: per-road-type trunk counts and
+length distributions (mean/STD), plus the traffic-density share of each
+type.  Everything downstream (RSU placement planning, coverage
+estimates) consumes only those statistics, so the substitution preserves
+the deployment arithmetic.
+
+Two builders are provided:
+
+- :meth:`CityNetworkBuilder.build_city` — the macroscopic inventory of
+  ~5.7 K road trunks used by Table V / Table VI / Fig. 9 analyses.
+- :meth:`CityNetworkBuilder.build_corridor` — the microscopic topology
+  of Fig. 1: four motorways meeting a motorway link at an interchange,
+  used by the testbed scenarios.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.geo.coords import SHENZHEN_BBOX, BoundingBox, LatLon, destination_point
+from repro.geo.roadnet import RoadNetwork, RoadSegment, RoadType
+from repro.simkernel.rng import RngRegistry
+
+
+@dataclass(frozen=True)
+class RoadClassSpec:
+    """Inventory statistics for one road type (one row of Table V)."""
+
+    count: int
+    mean_length_m: float
+    std_length_m: float
+    traffic_density: float  # share of vehicle traffic on this road type
+    lanes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+        if self.mean_length_m <= 0:
+            raise ValueError("mean length must be positive")
+        if self.std_length_m < 0:
+            raise ValueError("std length must be non-negative")
+        if not 0.0 <= self.traffic_density <= 1.0:
+            raise ValueError("traffic density must be in [0, 1]")
+
+
+#: Table V of the paper, verbatim.
+TABLE_V_SPECS: Dict[RoadType, RoadClassSpec] = {
+    RoadType.MOTORWAY: RoadClassSpec(435, 3357.0, 7652.0, 0.077, lanes=4),
+    RoadType.MOTORWAY_LINK: RoadClassSpec(159, 596.0, 1626.0, 0.028, lanes=2),
+    RoadType.TRUNK: RoadClassSpec(656, 1622.0, 5520.0, 0.116, lanes=3),
+    RoadType.TRUNK_LINK: RoadClassSpec(247, 339.0, 1931.0, 0.044, lanes=2),
+    RoadType.PRIMARY: RoadClassSpec(1431, 668.0, 2939.0, 0.252, lanes=3),
+    RoadType.PRIMARY_LINK: RoadClassSpec(191, 211.0, 169.0, 0.034, lanes=1),
+    RoadType.SECONDARY: RoadClassSpec(1140, 561.0, 2337.0, 0.201, lanes=2),
+    RoadType.SECONDARY_LINK: RoadClassSpec(36, 186.0, 156.0, 0.003, lanes=1),
+    RoadType.TERTIARY: RoadClassSpec(1064, 522.0, 2592.0, 0.188, lanes=2),
+    RoadType.RESIDENTIAL: RoadClassSpec(303, 334.0, 1470.0, 0.053, lanes=1),
+}
+
+
+@dataclass
+class NetworkSpec:
+    """Full synthetic-city specification."""
+
+    bbox: BoundingBox = SHENZHEN_BBOX
+    road_classes: Dict[RoadType, RoadClassSpec] = field(
+        default_factory=lambda: dict(TABLE_V_SPECS)
+    )
+    #: Scale factor on per-class counts; 1.0 reproduces Table V, smaller
+    #: values give fast test-sized cities with the same distributions.
+    count_scale: float = 1.0
+
+    def scaled_count(self, road_type: RoadType) -> int:
+        spec = self.road_classes[road_type]
+        return max(1, int(round(spec.count * self.count_scale)))
+
+    def total_roads(self) -> int:
+        return sum(self.scaled_count(rt) for rt in self.road_classes)
+
+
+def _lognormal_params(mean: float, std: float) -> tuple:
+    """(mu, sigma) of a lognormal with the given mean and std."""
+    if std <= 0:
+        return (math.log(mean), 0.0)
+    variance_ratio = (std / mean) ** 2
+    sigma2 = math.log1p(variance_ratio)
+    mu = math.log(mean) - sigma2 / 2.0
+    return (mu, math.sqrt(sigma2))
+
+
+class CityNetworkBuilder:
+    """Generate synthetic road networks calibrated to the paper."""
+
+    #: Roads shorter than this are dropped, mirroring the paper's
+    #: filtering of degenerate OSM ways.
+    MIN_ROAD_LENGTH_M = 30.0
+
+    def __init__(self, seed: int = 7) -> None:
+        self._rng = RngRegistry(seed).stream("geo.network_builder")
+
+    # ------------------------------------------------------------------
+    # Macroscopic city
+    # ------------------------------------------------------------------
+    def build_city(self, spec: Optional[NetworkSpec] = None) -> RoadNetwork:
+        """Build the macroscopic road inventory.
+
+        Lengths are drawn from per-class lognormal distributions whose
+        mean/STD match Table V; layout is a space-filling scatter inside
+        the bounding box (the deployment analyses consume lengths and
+        counts, not topology).
+        """
+        spec = spec or NetworkSpec()
+        network = RoadNetwork()
+        segment_id = 1
+        for road_type in RoadType:
+            if road_type not in spec.road_classes:
+                continue
+            class_spec = spec.road_classes[road_type]
+            count = spec.scaled_count(road_type)
+            mu, sigma = _lognormal_params(
+                class_spec.mean_length_m, class_spec.std_length_m
+            )
+            lengths = self._rng.lognormal(mu, sigma, size=count)
+            lengths = np.clip(lengths, self.MIN_ROAD_LENGTH_M, None)
+            for length in lengths:
+                origin = self._random_point(spec.bbox)
+                bearing = float(self._rng.uniform(0.0, 360.0))
+                polyline = self._polyline(origin, bearing, float(length))
+                network.add_segment(
+                    RoadSegment(
+                        segment_id=segment_id,
+                        road_type=road_type,
+                        polyline=polyline,
+                        lanes=class_spec.lanes,
+                        name=f"{road_type.value}-{segment_id}",
+                    )
+                )
+                segment_id += 1
+        return network
+
+    def _random_point(self, bbox: BoundingBox) -> LatLon:
+        lat = float(self._rng.uniform(bbox.south, bbox.north))
+        lon = float(self._rng.uniform(bbox.west, bbox.east))
+        return LatLon(lat, lon)
+
+    def _polyline(
+        self, origin: LatLon, bearing: float, length_m: float, waypoints: int = 3
+    ) -> List[LatLon]:
+        """A gently curving polyline of total length ``length_m``."""
+        points = [origin]
+        step = length_m / waypoints
+        heading = bearing
+        for _ in range(waypoints):
+            heading += float(self._rng.normal(0.0, 8.0))
+            points.append(destination_point(points[-1], heading, step))
+        return points
+
+    # ------------------------------------------------------------------
+    # Connected grid city (for multi-hop routed trips)
+    # ------------------------------------------------------------------
+    def build_grid(
+        self,
+        rows: int = 4,
+        cols: int = 4,
+        spacing_m: float = 800.0,
+        origin: Optional[LatLon] = None,
+    ) -> RoadNetwork:
+        """A fully connected Manhattan grid.
+
+        East-west streets are primaries, north-south streets are
+        secondaries; every block edge is one segment, so adjacent
+        segments share intersections and the network is routable end
+        to end — the substrate for mesoscopic multi-hop trips across
+        several RSUs.
+        """
+        if rows < 2 or cols < 2:
+            raise ValueError("grid needs at least 2x2 intersections")
+        if spacing_m <= 0:
+            raise ValueError("spacing must be positive")
+        origin = origin or SHENZHEN_BBOX.center
+        network = RoadNetwork()
+        # Intersection lattice.
+        points = [
+            [
+                destination_point(
+                    destination_point(origin, 90.0, col * spacing_m),
+                    0.0,
+                    row * spacing_m,
+                )
+                for col in range(cols)
+            ]
+            for row in range(rows)
+        ]
+        segment_id = 1
+        for row in range(rows):
+            for col in range(cols):
+                if col + 1 < cols:  # east-west primary
+                    network.add_segment(
+                        RoadSegment(
+                            segment_id,
+                            RoadType.PRIMARY,
+                            [points[row][col], points[row][col + 1]],
+                            lanes=3,
+                            name=f"ew-{row}-{col}",
+                        )
+                    )
+                    segment_id += 1
+                if row + 1 < rows:  # north-south secondary
+                    network.add_segment(
+                        RoadSegment(
+                            segment_id,
+                            RoadType.SECONDARY,
+                            [points[row][col], points[row + 1][col]],
+                            lanes=2,
+                            name=f"ns-{row}-{col}",
+                        )
+                    )
+                    segment_id += 1
+        return network
+
+    # ------------------------------------------------------------------
+    # Microscopic corridor (Fig. 1 topology)
+    # ------------------------------------------------------------------
+    def build_corridor(
+        self,
+        motorways: int = 4,
+        motorway_length_m: float = 3000.0,
+        link_length_m: float = 600.0,
+        center: Optional[LatLon] = None,
+    ) -> RoadNetwork:
+        """Fig. 1's interchange: ``motorways`` motorways converging on
+        one motorway link.
+
+        Segment ids: the link is id 1; motorways are 2..motorways+1.
+        All motorways share an endpoint with the link, so
+        ``network.neighbors(1)`` returns every motorway — the inter-RSU
+        collaboration topology of the 5-RSU experiment (Fig. 6b/6d).
+        """
+        if motorways < 1:
+            raise ValueError("need at least one motorway")
+        center = center or SHENZHEN_BBOX.center
+        network = RoadNetwork()
+        link_end = destination_point(center, 45.0, link_length_m)
+        network.add_segment(
+            RoadSegment(
+                segment_id=1,
+                road_type=RoadType.MOTORWAY_LINK,
+                polyline=[center, link_end],
+                lanes=2,
+                name="corridor-link",
+            )
+        )
+        for index in range(motorways):
+            bearing = 90.0 + index * (360.0 / max(motorways, 2))
+            far = destination_point(center, bearing, motorway_length_m)
+            network.add_segment(
+                RoadSegment(
+                    segment_id=2 + index,
+                    road_type=RoadType.MOTORWAY,
+                    polyline=[far, center],
+                    lanes=4,
+                    name=f"corridor-motorway-{index + 1}",
+                )
+            )
+        return network

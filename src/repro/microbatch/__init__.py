@@ -1,0 +1,33 @@
+"""Micro-batch stream-processing substrate (the Spark Streaming substitute).
+
+The paper's pipeline consumes the ``IN-DATA`` topic through Spark
+Streaming with **50 ms micro-batches**: the continuous stream is
+divided into small RDDs that the Spark engine processes, and results
+are written back to Kafka.  This package reproduces that execution
+model on the simulation clock:
+
+- :class:`~repro.microbatch.batch.Batch` — the RDD analogue: an
+  immutable record collection with functional operators.
+- :class:`~repro.microbatch.dstream.DStream` — a lazily-composed
+  transformation chain applied to every batch.
+- :class:`~repro.microbatch.context.StreamingContext` — ticks every
+  batch interval, polls the source consumer, runs the pipeline, and
+  models processing latency via a calibrated cost model so Fig. 6a's
+  processing-time curve is reproducible.
+"""
+
+from repro.microbatch.batch import Batch
+from repro.microbatch.context import (
+    BatchMetrics,
+    ProcessingModel,
+    StreamingContext,
+)
+from repro.microbatch.dstream import DStream
+
+__all__ = [
+    "Batch",
+    "BatchMetrics",
+    "DStream",
+    "ProcessingModel",
+    "StreamingContext",
+]

@@ -1,0 +1,117 @@
+"""DStream: a lazily-composed per-batch transformation chain."""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Callable, Deque, Iterable, List
+
+from repro.microbatch.batch import Batch
+
+#: A sink receives the transformed batch and the simulated time at
+#: which processing of the batch completed.
+Sink = Callable[[Batch, float], None]
+
+
+class _WindowState:
+    """Buffers the last ``width`` batches for a windowed sink.
+
+    Mirrors Spark Streaming's ``window(windowLength, slideInterval)``:
+    every ``slide`` batches, the sink sees one Batch containing the
+    records of the last ``width`` batches (fewer during warm-up).
+    """
+
+    def __init__(self, width: int, slide: int, sink: Sink) -> None:
+        if width < 1:
+            raise ValueError(f"window width must be >= 1: {width}")
+        if slide < 1:
+            raise ValueError(f"window slide must be >= 1: {slide}")
+        self.width = width
+        self.slide = slide
+        self.sink = sink
+        self._buffer: Deque[Batch] = collections.deque(maxlen=width)
+        self._since_emit = 0
+
+    def push(self, batch: Batch, completion_time: float) -> None:
+        self._buffer.append(batch)
+        self._since_emit += 1
+        if self._since_emit >= self.slide:
+            self._since_emit = 0
+            merged = Batch(
+                (item for buffered in self._buffer for item in buffered),
+                batch_time=self._buffer[0].batch_time,
+            )
+            self.sink(merged, completion_time)
+
+
+class DStream:
+    """A pipeline of batch transformations ending in zero or more sinks.
+
+    Construction is declarative (``map``/``filter``/... return new
+    DStreams sharing the sink registry); execution happens when the
+    owning :class:`~repro.microbatch.context.StreamingContext` calls
+    :meth:`process` once per micro-batch.
+    """
+
+    def __init__(self, transforms: List[Callable[[Batch], Batch]] = None, _sinks=None) -> None:
+        self._transforms: List[Callable[[Batch], Batch]] = list(transforms or [])
+        # Sinks are shared across derived DStreams so registering a
+        # sink on a derived stream is visible to the context that owns
+        # the root.
+        self._sinks: List[tuple] = _sinks if _sinks is not None else []
+
+    # ------------------------------------------------------------------
+    # Transformations (each returns a derived stream)
+    # ------------------------------------------------------------------
+    def _derive(self, transform: Callable[[Batch], Batch]) -> "DStream":
+        return DStream(self._transforms + [transform], self._sinks)
+
+    def map(self, fn: Callable[[Any], Any]) -> "DStream":
+        return self._derive(lambda batch: batch.map(fn))
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "DStream":
+        return self._derive(lambda batch: batch.filter(predicate))
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]]) -> "DStream":
+        return self._derive(lambda batch: batch.flat_map(fn))
+
+    def map_partitions(
+        self, fn: Callable[[List[Any]], Iterable[Any]]
+    ) -> "DStream":
+        return self._derive(lambda batch: batch.map_partitions(fn))
+
+    # ------------------------------------------------------------------
+    # Sinks
+    # ------------------------------------------------------------------
+    def foreach_batch(self, sink: Sink) -> "DStream":
+        """Register ``sink(batch, completion_time)`` at this point of
+        the chain."""
+        self._sinks.append((list(self._transforms), sink))
+        return self
+
+    def foreach_window(
+        self, width: int, sink: Sink, slide: int = 1
+    ) -> "DStream":
+        """Register a sliding-window sink at this point of the chain.
+
+        Every ``slide`` batches, ``sink`` receives one Batch merging
+        the last ``width`` batches' records — Spark Streaming's
+        window operation, used e.g. for rolling road-speed context.
+        """
+        state = _WindowState(width, slide, sink)
+        self._sinks.append((list(self._transforms), state.push))
+        return self
+
+    # ------------------------------------------------------------------
+    # Execution (called by the StreamingContext)
+    # ------------------------------------------------------------------
+    def process(self, batch: Batch, completion_time: float) -> None:
+        """Run every sink's transform chain on ``batch``."""
+        for transforms, sink in self._sinks:
+            transformed = batch
+            for transform in transforms:
+                transformed = transform(transformed)
+            sink(transformed, completion_time)
+
+    @property
+    def n_sinks(self) -> int:
+        return len(self._sinks)

@@ -1,0 +1,67 @@
+"""Shared estimator plumbing: validation and fitted-state checks."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class EstimatorError(ValueError):
+    """Invalid input to an estimator."""
+
+
+class NotFittedError(RuntimeError):
+    """An estimator method requiring ``fit`` was called before it."""
+
+
+def check_Xy(X, y) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce a training pair to float/int arrays.
+
+    Raises :class:`EstimatorError` on shape mismatches, empty data, or
+    non-finite values — failing at fit time beats failing at predict
+    time with a cryptic numpy warning.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise EstimatorError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1:
+        raise EstimatorError(f"y must be 1-D, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise EstimatorError(
+            f"X and y disagree on sample count: {X.shape[0]} vs {y.shape[0]}"
+        )
+    if X.shape[0] == 0:
+        raise EstimatorError("cannot fit on zero samples")
+    if not np.all(np.isfinite(X)):
+        raise EstimatorError("X contains NaN or infinite values")
+    return X, y
+
+
+def check_X(X, n_features: int) -> np.ndarray:
+    """Validate a prediction matrix against the fitted feature count."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise EstimatorError(f"X must be 2-D, got shape {X.shape}")
+    if X.shape[1] != n_features:
+        raise EstimatorError(
+            f"X has {X.shape[1]} features; estimator was fitted "
+            f"with {n_features}"
+        )
+    if not np.all(np.isfinite(X)):
+        raise EstimatorError("X contains NaN or infinite values")
+    return X
+
+
+def check_fitted(estimator, attribute: str = "classes_") -> None:
+    """Raise :class:`NotFittedError` unless ``attribute`` is set."""
+    if getattr(estimator, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(estimator).__name__} must be fitted before calling "
+            f"this method"
+        )

@@ -1,0 +1,116 @@
+"""Binary-classification metrics.
+
+The paper reports accuracy and F1 (Fig. 7) and TP/FN *rates* (Table IV)
+with the convention that **abnormal (class = 0) is the positive class**
+— a false negative is an abnormal record classified normal, the
+dangerous error the system is built to minimise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import EstimatorError
+
+
+def _validate(y_true, y_pred):
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise EstimatorError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise EstimatorError("cannot compute metrics on zero samples")
+    return y_true, y_pred
+
+
+def confusion_matrix(y_true, y_pred, positive=0) -> np.ndarray:
+    """2x2 matrix ``[[TP, FN], [FP, TN]]`` for the given positive class."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    pos_true = y_true == positive
+    pos_pred = y_pred == positive
+    tp = int(np.sum(pos_true & pos_pred))
+    fn = int(np.sum(pos_true & ~pos_pred))
+    fp = int(np.sum(~pos_true & pos_pred))
+    tn = int(np.sum(~pos_true & ~pos_pred))
+    return np.array([[tp, fn], [fp, tn]])
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_score(y_true, y_pred, positive=0) -> float:
+    matrix = confusion_matrix(y_true, y_pred, positive)
+    tp, fp = matrix[0, 0], matrix[1, 0]
+    return tp / (tp + fp) if (tp + fp) > 0 else 0.0
+
+
+def recall_score(y_true, y_pred, positive=0) -> float:
+    matrix = confusion_matrix(y_true, y_pred, positive)
+    tp, fn = matrix[0, 0], matrix[0, 1]
+    return tp / (tp + fn) if (tp + fn) > 0 else 0.0
+
+
+def f1_score(y_true, y_pred, positive=0) -> float:
+    precision = precision_score(y_true, y_pred, positive)
+    recall = recall_score(y_true, y_pred, positive)
+    if precision + recall == 0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+@dataclass(frozen=True)
+class BinaryClassificationReport:
+    """Everything Fig. 7 and Table IV report, for one model.
+
+    ``tp_rate`` and ``fn_rate`` follow Table IV: fractions of **all**
+    evaluated records that are true positives / false negatives (the
+    table's percentages over 89 K records), not recall-style ratios.
+    """
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    tp: int
+    fn: int
+    fp: int
+    tn: int
+
+    @property
+    def n_samples(self) -> int:
+        return self.tp + self.fn + self.fp + self.tn
+
+    @property
+    def tp_rate(self) -> float:
+        return self.tp / self.n_samples
+
+    @property
+    def fn_rate(self) -> float:
+        return self.fn / self.n_samples
+
+    def format_row(self, name: str) -> str:
+        return (
+            f"{name:<14} acc={self.accuracy:.4f} f1={self.f1:.4f} "
+            f"TPrate={self.tp_rate:.1%} FNrate={self.fn_rate:.1%}"
+        )
+
+
+def evaluate_binary(y_true, y_pred, positive=0) -> BinaryClassificationReport:
+    """Compute the full report with abnormal-positive convention."""
+    matrix = confusion_matrix(y_true, y_pred, positive)
+    return BinaryClassificationReport(
+        accuracy=accuracy_score(y_true, y_pred),
+        precision=precision_score(y_true, y_pred, positive),
+        recall=recall_score(y_true, y_pred, positive),
+        f1=f1_score(y_true, y_pred, positive),
+        tp=int(matrix[0, 0]),
+        fn=int(matrix[0, 1]),
+        fp=int(matrix[1, 0]),
+        tn=int(matrix[1, 1]),
+    )

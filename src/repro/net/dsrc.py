@@ -1,0 +1,232 @@
+"""DSRC / IEEE 802.11p channel models.
+
+Two layers:
+
+1. :class:`DsrcMacModel` — the paper's analytic CSMA/CA model (Eq. 5-6):
+
+       t_v       = num_v * (t_backoff + DIFS + t_pkt)
+       t_backoff = p_c * cw_max * t_slot
+       DIFS      = SIFS + 2 * t_slot
+
+   with t_slot = 9 us, SIFS = 16 us, cw_max = 255, and p_c <= 0.03 (the
+   collision probability, proportional to vehicle density).  With the
+   802.11p PHY preamble (40 us at 10 MHz) and a 32-byte MAC header on a
+   200-byte payload this reproduces the paper's stated access times:
+   ~54 ms at 27 Mb/s ("MCS 8", 64-QAM 3/4) and ~90 ms at 9 Mb/s
+   ("MCS 3") for 256 vehicles, versus the paper's 54.28 / 92.62 ms.
+
+2. :class:`DsrcChannel` — a discrete-event shared medium for the
+   testbed simulation: transmissions serialize on the channel, each
+   paying DIFS + random backoff + airtime, and contention grows with
+   load.
+
+The paper's MCS naming follows its ref. [24] (Bazzi et al.) and is
+1-indexed; :data:`MCS_TABLE` holds the eight 10-MHz-channel rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+#: Shared-medium capacity the paper quotes for DSRC.
+DSRC_BANDWIDTH_BPS = 27_000_000
+
+
+@dataclass(frozen=True)
+class McsScheme:
+    """One modulation-and-coding scheme of the 802.11p 10 MHz channel."""
+
+    index: int
+    modulation: str
+    coding_rate: str
+    data_rate_bps: float
+
+    def __post_init__(self) -> None:
+        if self.data_rate_bps <= 0:
+            raise ValueError("data rate must be positive")
+
+
+#: 802.11p data rates on a 10 MHz channel, 1-indexed as in the paper's
+#: reference [24].
+MCS_TABLE: Dict[int, McsScheme] = {
+    1: McsScheme(1, "BPSK", "1/2", 3_000_000),
+    2: McsScheme(2, "BPSK", "3/4", 4_500_000),
+    3: McsScheme(3, "QPSK", "1/2", 6_000_000),
+    4: McsScheme(4, "QPSK", "3/4", 9_000_000),
+    5: McsScheme(5, "16-QAM", "1/2", 12_000_000),
+    6: McsScheme(6, "16-QAM", "3/4", 18_000_000),
+    7: McsScheme(7, "64-QAM", "2/3", 24_000_000),
+    8: McsScheme(8, "64-QAM", "3/4", 27_000_000),
+}
+
+#: The schemes the paper quotes numbers for.  Note: the paper's
+#: "92.62 ms using MCS 3" is only consistent with Eq. 5 at a 9 Mb/s
+#: rate (QPSK 3/4); we therefore map the paper's "MCS 3" to that rate
+#: while keeping the canonical 1-indexed table above.
+PAPER_MCS_3 = McsScheme(3, "QPSK", "3/4", 9_000_000)
+PAPER_MCS_8 = MCS_TABLE[8]
+
+
+@dataclass(frozen=True)
+class DsrcMacModel:
+    """Analytic CSMA/CA medium-access model (the paper's Eq. 5-6)."""
+
+    t_slot_s: float = 9e-6
+    sifs_s: float = 16e-6
+    cw_max: int = 255
+    collision_prob: float = 0.03
+    #: PHY preamble + SIGNAL field duration at 10 MHz.
+    preamble_s: float = 40e-6
+    #: MAC header + FCS bytes added to every payload.
+    mac_overhead_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.collision_prob <= 1.0:
+            raise ValueError("collision_prob must be in [0, 1]")
+        if self.cw_max < 1:
+            raise ValueError("cw_max must be >= 1")
+
+    @property
+    def difs_s(self) -> float:
+        """DIFS = SIFS + 2 * t_slot (Eq. 6)."""
+        return self.sifs_s + 2.0 * self.t_slot_s
+
+    @property
+    def backoff_s(self) -> float:
+        """Expected worst-case backoff, t_backoff = p_c * cw_max * t_slot."""
+        return self.collision_prob * self.cw_max * self.t_slot_s
+
+    def airtime_s(self, mcs: McsScheme, payload_bytes: int = 200) -> float:
+        """Time on air for one frame: preamble + (payload + MAC) bits."""
+        if payload_bytes <= 0:
+            raise ValueError("payload must be positive")
+        bits = (payload_bytes + self.mac_overhead_bytes) * 8
+        return self.preamble_s + bits / mcs.data_rate_bps
+
+    def channel_access_time_s(
+        self, num_vehicles: int, mcs: McsScheme, payload_bytes: int = 200
+    ) -> float:
+        """Eq. 5: time for ``num_vehicles`` to each get one frame through.
+
+        Each vehicle pays DIFS + its worst-case backoff + airtime.
+        """
+        if num_vehicles < 1:
+            raise ValueError("need at least one vehicle")
+        per_vehicle = self.backoff_s + self.difs_s + self.airtime_s(
+            mcs, payload_bytes
+        )
+        return num_vehicles * per_vehicle
+
+    def supports_update_rate(
+        self,
+        num_vehicles: int,
+        rate_hz: float,
+        mcs: McsScheme,
+        payload_bytes: int = 200,
+    ) -> bool:
+        """Can all vehicles send at ``rate_hz`` without queue build-up?
+
+        The paper's criterion: all packets must clear the medium before
+        the next update is generated (100 ms at 10 Hz).
+        """
+        if rate_hz <= 0:
+            raise ValueError("rate must be positive")
+        access = self.channel_access_time_s(num_vehicles, mcs, payload_bytes)
+        return access <= 1.0 / rate_hz
+
+    def max_vehicles(
+        self, deadline_s: float, mcs: McsScheme, payload_bytes: int = 200
+    ) -> int:
+        """Largest vehicle count whose access time fits ``deadline_s``."""
+        if deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        per_vehicle = self.backoff_s + self.difs_s + self.airtime_s(
+            mcs, payload_bytes
+        )
+        return int(deadline_s / per_vehicle)
+
+
+class DsrcChannel:
+    """Discrete-event shared DSRC medium.
+
+    Transmissions serialize (CSMA/CA: one sender at a time).  Each
+    transmission pays DIFS + a uniform random backoff + airtime; if the
+    medium is busy the sender defers until it frees.  Per-transmission
+    latency therefore grows with the instantaneous offered load,
+    reproducing the gentle Tx-latency growth of Fig. 6a.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    mcs:
+        Modulation/coding for airtime.
+    mac:
+        Analytic parameters (slot, SIFS, cw).
+    rng:
+        Random stream for backoff draws.
+    """
+
+    def __init__(
+        self,
+        sim,
+        mcs: McsScheme = PAPER_MCS_8,
+        mac: Optional[DsrcMacModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        loss_prob: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_prob < 1.0:
+            raise ValueError(f"loss_prob must be in [0, 1): {loss_prob}")
+        self.sim = sim
+        self.mcs = mcs
+        self.mac = mac or DsrcMacModel()
+        self._rng = rng or np.random.default_rng(0)
+        self.loss_prob = loss_prob
+        self._busy_until = 0.0
+        self.transmissions = 0
+        self.bytes_transmitted = 0
+        self.frames_lost = 0
+        self.total_airtime_s = 0.0
+
+    def transmit(
+        self,
+        payload_bytes: int,
+        on_delivered: Callable[[float], None],
+    ) -> Optional[float]:
+        """Schedule one frame; returns its delivery time.
+
+        ``on_delivered(delivery_time)`` fires when the frame clears the
+        medium.  Broadcast DSRC frames are unacknowledged: with
+        ``loss_prob`` set, a lost frame still occupies the medium but
+        never delivers, and the method returns ``None``.
+        """
+        now = self.sim.now
+        # Contention window grows with collisions; at the paper's
+        # p_c <= 0.03 most draws are from the minimum window (15 slots),
+        # occasionally escalating toward cw_max.
+        if self._rng.random() < self.mac.collision_prob:
+            cw = self.mac.cw_max
+        else:
+            cw = 15
+        backoff = float(self._rng.integers(0, cw + 1)) * self.mac.t_slot_s
+        airtime = self.mac.airtime_s(self.mcs, payload_bytes)
+        start = max(now, self._busy_until) + self.mac.difs_s + backoff
+        delivery = start + airtime
+        self._busy_until = delivery
+        self.transmissions += 1
+        self.bytes_transmitted += payload_bytes
+        self.total_airtime_s += airtime
+        if self.loss_prob > 0.0 and self._rng.random() < self.loss_prob:
+            self.frames_lost += 1
+            return None
+        self.sim.at(delivery, lambda t=delivery: on_delivered(t), label="dsrc-delivery")
+        return delivery
+
+    def utilization(self, elapsed_s: float) -> float:
+        """Fraction of ``elapsed_s`` the medium spent transmitting."""
+        if elapsed_s <= 0:
+            raise ValueError("elapsed time must be positive")
+        return self.total_airtime_s / elapsed_s

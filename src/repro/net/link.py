@@ -1,0 +1,65 @@
+"""Point-to-point wired links for inter-RSU collaboration traffic.
+
+RSUs "feature either a wired connection (coaxial or optical Ethernet)
+for fast and reliable intercommunications, or cellular communication";
+the testbed uses 1 Gb/s Ethernet.  A :class:`WiredLink` is a FIFO
+store-and-forward pipe with propagation latency and serialization
+delay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class WiredLink:
+    """FIFO link with fixed latency and finite bandwidth.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    latency_s:
+        One-way propagation + switching latency.
+    bandwidth_bps:
+        Serialization rate; the testbed's 1 Gb/s by default.
+    """
+
+    def __init__(
+        self,
+        sim,
+        latency_s: float = 0.5e-3,
+        bandwidth_bps: float = 1_000_000_000,
+        name: str = "link",
+    ) -> None:
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.latency_s = latency_s
+        self.bandwidth_bps = bandwidth_bps
+        self.name = name
+        self._busy_until = 0.0
+        self.bytes_sent = 0
+        self.packets_sent = 0
+
+    def serialization_s(self, packet_bytes: int) -> float:
+        return packet_bytes * 8.0 / self.bandwidth_bps
+
+    def send(
+        self, packet_bytes: int, on_delivered: Callable[[float], None]
+    ) -> float:
+        """Queue one packet; returns (and schedules) its delivery time."""
+        if packet_bytes <= 0:
+            raise ValueError(f"packet size must be positive: {packet_bytes}")
+        start = max(self.sim.now, self._busy_until)
+        done_serializing = start + self.serialization_s(packet_bytes)
+        self._busy_until = done_serializing
+        delivery = done_serializing + self.latency_s
+        self.bytes_sent += packet_bytes
+        self.packets_sent += 1
+        self.sim.at(
+            delivery, lambda t=delivery: on_delivered(t), label=f"{self.name}-delivery"
+        )
+        return delivery

@@ -1,0 +1,47 @@
+"""Simulated clock.
+
+Simulated time is a ``float`` number of seconds since the start of the
+simulation.  The clock only ever moves forward; the :class:`Simulator`
+advances it as events fire.  Keeping the clock in its own object (rather
+than a bare attribute on the simulator) lets substrate components hold a
+read-only view of time without holding the whole event loop.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonically non-decreasing simulated time, in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now * 1e3
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises ``ValueError`` if the move would go backwards — a
+        violation of event-queue ordering and always a bug.
+        """
+        if timestamp < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: at {self._now!r}, "
+                f"asked to advance to {timestamp!r}"
+            )
+        self._now = float(timestamp)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now!r})"

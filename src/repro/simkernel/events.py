@@ -1,0 +1,122 @@
+"""Event and event-queue primitives for the simulation kernel.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence
+number is a global insertion counter, which makes ordering total and the
+whole simulation deterministic: two events scheduled for the same instant
+fire in the order they were scheduled (unless a priority says otherwise).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulated time at which the callback fires.
+    priority:
+        Tie-breaker for events at the same time; lower fires first.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Optional human-readable tag, used in error messages and traces.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "label", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        label: Optional[str] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Mark the event so the queue drops it instead of firing it."""
+        self._cancelled = True
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:
+        tag = f" {self.label!r}" if self.label else ""
+        state = " cancelled" if self._cancelled else ""
+        return f"Event(t={self.time:.6f}{tag}{state})"
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` objects.
+
+    Cancellation is lazy: cancelled events stay in the heap and are
+    skipped on pop, which keeps ``cancel`` O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        label: Optional[str] = None,
+    ) -> Event:
+        event = Event(time, next(self._counter), callback, priority, label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises ``IndexError`` if the queue is empty.
+        """
+        self._drop_cancelled()
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,112 @@
+"""Generator-based simulated processes.
+
+A :class:`Process` wraps a Python generator whose ``yield`` values are
+delays in simulated seconds.  This is the familiar SimPy-style coroutine
+idiom, restricted to the single primitive (timed sleep) the CAD3
+scenarios need: vehicles that transmit every 100 ms, consumers that poll
+every 10 ms, RSUs that tick micro-batches every 50 ms.
+
+Example
+-------
+>>> from repro.simkernel import Simulator, Process
+>>> sim = Simulator()
+>>> ticks = []
+>>> def beacon():
+...     for _ in range(3):
+...         ticks.append(sim.now)
+...         yield 0.1
+>>> _ = Process(sim, beacon())
+>>> _ = sim.run()
+>>> ticks
+[0.0, 0.1, 0.2]
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Optional
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    FINISHED = "finished"
+    INTERRUPTED = "interrupted"
+    FAILED = "failed"
+
+
+class Process:
+    """Drive a generator on the simulator's clock.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.simkernel.simulator.Simulator`.
+    generator:
+        Generator yielding non-negative float delays (seconds).
+    start_at:
+        Absolute time of the first resumption; defaults to now.
+    name:
+        Label used in event traces and errors.
+    """
+
+    def __init__(
+        self,
+        sim: Any,
+        generator: Generator[float, None, Any],
+        start_at: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self.state = ProcessState.PENDING
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._event = sim.at(
+            sim.now if start_at is None else start_at,
+            self._resume,
+            label=f"process:{self.name}",
+        )
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (ProcessState.PENDING, ProcessState.RUNNING)
+
+    def interrupt(self) -> None:
+        """Stop the process before its next resumption."""
+        if not self.alive:
+            return
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+        self._generator.close()
+        self.state = ProcessState.INTERRUPTED
+
+    def _resume(self) -> None:
+        self.state = ProcessState.RUNNING
+        self._event = None
+        try:
+            delay = next(self._generator)
+        except StopIteration as stop:
+            self.state = ProcessState.FINISHED
+            self.result = stop.value
+            return
+        except BaseException as exc:  # surface the real failure site
+            self.state = ProcessState.FAILED
+            self.error = exc
+            raise
+        if delay is None or delay < 0:
+            self.state = ProcessState.FAILED
+            self.error = ValueError(
+                f"process {self.name!r} yielded invalid delay {delay!r}"
+            )
+            raise self.error
+        self._event = self.sim.after(
+            float(delay), self._resume, label=f"process:{self.name}"
+        )
+
+    def __repr__(self) -> str:
+        return f"Process(name={self.name!r}, state={self.state.value})"

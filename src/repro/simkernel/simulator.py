@@ -1,0 +1,186 @@
+"""The discrete-event simulator.
+
+A :class:`Simulator` owns a :class:`~repro.simkernel.clock.SimClock` and
+an :class:`~repro.simkernel.events.EventQueue` and runs callbacks in
+timestamp order.  All CAD3 experiment scenarios are driven through this
+loop, so a single seed fully determines every measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simkernel.clock import SimClock
+from repro.simkernel.events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Simulator:
+    """Deterministic discrete-event loop.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time (seconds).
+    max_events:
+        Safety valve: ``run`` raises :class:`SimulationError` after this
+        many events, catching accidental infinite self-scheduling loops.
+    """
+
+    def __init__(self, start: float = 0.0, max_events: int = 50_000_000) -> None:
+        self.clock = SimClock(start)
+        self.queue = EventQueue()
+        self.max_events = max_events
+        self._events_fired = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_fired
+
+    def at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event at {time!r}; clock is already "
+                f"at {self.clock.now!r}"
+            )
+        return self.queue.push(time, callback, priority, label)
+
+    def after(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay!r}")
+        return self.queue.push(self.clock.now + delay, callback, priority, label)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+        label: Optional[str] = None,
+    ) -> Callable[[], None]:
+        """Schedule ``callback`` periodically.
+
+        The first firing is at ``start`` (defaulting to ``now +
+        interval``); subsequent firings occur every ``interval`` seconds
+        until ``until`` (exclusive) or until the returned canceller is
+        called.
+
+        Returns
+        -------
+        A zero-argument function that stops the recurrence.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval!r}")
+        state = {"cancelled": False, "event": None}
+
+        def fire() -> None:
+            if state["cancelled"]:
+                return
+            callback()
+            next_time = self.clock.now + interval
+            if until is None or next_time < until:
+                state["event"] = self.at(next_time, fire, label=label)
+
+        first = self.clock.now + interval if start is None else start
+        if until is None or first < until:
+            state["event"] = self.at(first, fire, label=label)
+
+        def cancel() -> None:
+            state["cancelled"] = True
+            event = state["event"]
+            if event is not None:
+                self.queue.cancel(event)
+
+        return cancel
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self.queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue was
+        empty.
+        """
+        if not self.queue:
+            return False
+        event = self.queue.pop()
+        self.clock.advance_to(event.time)
+        self._events_fired += 1
+        if self._events_fired > self.max_events:
+            raise SimulationError(
+                f"exceeded max_events={self.max_events}; "
+                f"likely a runaway scheduling loop (last: {event!r})"
+            )
+        event.callback()
+        return True
+
+    def run(self) -> float:
+        """Run until the event queue drains.  Returns the final time."""
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        try:
+            while self.step():
+                pass
+        finally:
+            self._running = False
+        return self.clock.now
+
+    def run_until(self, deadline: float) -> float:
+        """Run events with ``time <= deadline``; then advance the clock
+        to ``deadline`` and return it."""
+        if deadline < self.clock.now:
+            raise SimulationError(
+                f"deadline {deadline!r} is before current time {self.clock.now!r}"
+            )
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        try:
+            while True:
+                next_time = self.queue.peek_time()
+                if next_time is None or next_time > deadline:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        self.clock.advance_to(deadline)
+        return self.clock.now
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.clock.now:.6f}, pending={len(self.queue)}, "
+            f"fired={self._events_fired})"
+        )

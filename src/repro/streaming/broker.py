@@ -1,0 +1,165 @@
+"""Broker: topic management, produce/fetch, group offsets, accounting.
+
+One broker instance plays the role of one Kafka server; the paper runs
+"2 servers (Brokers) to act as motorway and motorway link RSUs" and
+later five.  The broker also keeps byte counters, which the bandwidth
+experiments (Fig. 6c/6d) read.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.streaming.coordinator import GroupCoordinator
+from repro.streaming.records import RecordMetadata, StoredRecord
+from repro.streaming.topic import Topic
+
+
+class BrokerError(RuntimeError):
+    """Generic broker-side failure."""
+
+
+class TopicNotFound(BrokerError):
+    """Operation on a topic that does not exist."""
+
+
+class Broker:
+    """An in-process event-streaming server.
+
+    Parameters
+    ----------
+    name:
+        Broker identity (e.g. ``"rsu-motorway-1"``).
+    clock:
+        Zero-argument callable returning the current time; experiments
+        inject the simulator clock so record timestamps live on
+        simulated time.
+    """
+
+    def __init__(
+        self, name: str, clock: Optional[Callable[[], float]] = None
+    ) -> None:
+        self.name = name
+        self._clock = clock or (lambda: 0.0)
+        self._topics: Dict[str, Topic] = {}
+        # (group, topic, partition) -> committed offset
+        self._committed: Dict[Tuple[str, str, int], int] = {}
+        self.coordinator = GroupCoordinator()
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.records_in = 0
+        self.records_out = 0
+
+    # ------------------------------------------------------------------
+    # Topic management
+    # ------------------------------------------------------------------
+    def create_topic(
+        self,
+        name: str,
+        num_partitions: int = 3,
+        retention_records: Optional[int] = None,
+    ) -> Topic:
+        """Create a topic; creating an existing name is an error."""
+        if name in self._topics:
+            raise BrokerError(f"topic {name!r} already exists on {self.name!r}")
+        topic = Topic(name, num_partitions, retention_records=retention_records)
+        self._topics[name] = topic
+        return topic
+
+    def ensure_topic(self, name: str, num_partitions: int = 3) -> Topic:
+        """Create the topic if absent, return it either way."""
+        if name not in self._topics:
+            return self.create_topic(name, num_partitions)
+        return self._topics[name]
+
+    def topic(self, name: str) -> Topic:
+        try:
+            return self._topics[name]
+        except KeyError:
+            raise TopicNotFound(
+                f"topic {name!r} does not exist on broker {self.name!r}"
+            ) from None
+
+    def topic_names(self) -> List[str]:
+        return sorted(self._topics)
+
+    def has_topic(self, name: str) -> bool:
+        return name in self._topics
+
+    # ------------------------------------------------------------------
+    # Produce / fetch
+    # ------------------------------------------------------------------
+    def produce(
+        self,
+        topic_name: str,
+        value: bytes,
+        key: Optional[bytes] = None,
+        partition: Optional[int] = None,
+        timestamp: Optional[float] = None,
+    ) -> RecordMetadata:
+        """Append a serialized record, returning its metadata."""
+        topic = self.topic(topic_name)
+        index = topic.route(key) if partition is None else partition
+        log = topic.partition(index)
+        record_time = self._clock() if timestamp is None else timestamp
+        offset = log.append(record_time, key, value)
+        size = len(value) + (len(key) if key else 0)
+        self.bytes_in += size
+        self.records_in += 1
+        return RecordMetadata(
+            topic=topic_name,
+            partition=index,
+            offset=offset,
+            timestamp=record_time,
+            serialized_size=size,
+        )
+
+    def fetch(
+        self,
+        topic_name: str,
+        partition: int,
+        from_offset: int,
+        max_records: int = 500,
+    ) -> List[StoredRecord]:
+        """Read records from one partition starting at ``from_offset``."""
+        records = self.topic(topic_name).partition(partition).read(
+            from_offset, max_records
+        )
+        self.bytes_out += sum(r.size for r in records)
+        self.records_out += len(records)
+        return records
+
+    def end_offset(self, topic_name: str, partition: int) -> int:
+        return self.topic(topic_name).partition(partition).end_offset
+
+    # ------------------------------------------------------------------
+    # Consumer-group offsets
+    # ------------------------------------------------------------------
+    def commit(
+        self, group: str, topic_name: str, partition: int, offset: int
+    ) -> None:
+        """Store a consumer group's committed offset."""
+        if offset < 0:
+            raise BrokerError(f"cannot commit negative offset {offset}")
+        self.topic(topic_name).partition(partition)  # validate existence
+        self._committed[(group, topic_name, partition)] = offset
+
+    def committed(self, group: str, topic_name: str, partition: int) -> int:
+        """The group's committed offset, 0 if never committed."""
+        return self._committed.get((group, topic_name, partition), 0)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Accounting snapshot used by the bandwidth experiments."""
+        return {
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "records_in": self.records_in,
+            "records_out": self.records_out,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Broker(name={self.name!r}, topics={len(self._topics)}, "
+            f"records_in={self.records_in})"
+        )

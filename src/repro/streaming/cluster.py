@@ -1,0 +1,68 @@
+"""A named set of brokers.
+
+The testbed runs one broker per RSU ("we set up 5 Kafka Brokers as 5
+RSUs").  A :class:`Cluster` owns those brokers and resolves which
+broker hosts which topic, so producers/consumers can be constructed
+against logical RSU names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.streaming.broker import Broker, BrokerError
+
+
+class Cluster:
+    """Registry of brokers, addressable by name and by topic."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self._brokers: Dict[str, Broker] = {}
+
+    def add_broker(self, name: str) -> Broker:
+        if name in self._brokers:
+            raise BrokerError(f"broker {name!r} already exists")
+        broker = Broker(name, clock=self._clock)
+        self._brokers[name] = broker
+        return broker
+
+    def broker(self, name: str) -> Broker:
+        try:
+            return self._brokers[name]
+        except KeyError:
+            raise BrokerError(f"unknown broker {name!r}") from None
+
+    def broker_names(self) -> List[str]:
+        return sorted(self._brokers)
+
+    def __len__(self) -> int:
+        return len(self._brokers)
+
+    def broker_for_topic(self, topic_name: str) -> Broker:
+        """The broker hosting ``topic_name``.
+
+        Raises if zero or multiple brokers host it — topics are
+        per-RSU in this system, so ambiguity is a wiring bug.
+        """
+        hosts = [
+            broker
+            for broker in self._brokers.values()
+            if broker.has_topic(topic_name)
+        ]
+        if not hosts:
+            raise BrokerError(f"no broker hosts topic {topic_name!r}")
+        if len(hosts) > 1:
+            names = sorted(b.name for b in hosts)
+            raise BrokerError(
+                f"topic {topic_name!r} exists on multiple brokers: {names}"
+            )
+        return hosts[0]
+
+    def total_stats(self) -> Dict[str, int]:
+        """Summed accounting across all brokers."""
+        totals = {"bytes_in": 0, "bytes_out": 0, "records_in": 0, "records_out": 0}
+        for broker in self._brokers.values():
+            for key, value in broker.stats().items():
+                totals[key] += value
+        return totals

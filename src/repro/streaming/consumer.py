@@ -1,0 +1,215 @@
+"""Consumer client with consumer-group offset tracking.
+
+Mirrors ``kafka-python``'s poll loop: subscribe to topics, ``poll`` for
+a batch, offsets advance per partition, and groups commit offsets back
+to the broker so another consumer (or a restart) resumes where the
+group left off — the property the paper's warning-dissemination path
+relies on ("each Kafka consumer pulls every 10 ms").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.streaming.broker import Broker
+from repro.streaming.records import ConsumerRecord
+from repro.streaming.serde import JsonSerde, Serde
+
+_consumer_ids = itertools.count(1)
+
+
+class Consumer:
+    """Poll records from one broker.
+
+    Parameters
+    ----------
+    broker:
+        Source broker.
+    group:
+        Consumer-group id.  Consumers in the same group share committed
+        offsets on the broker; a ``None`` group keeps offsets local.
+    serde:
+        Value/key deserializer.
+    auto_commit:
+        Commit offsets back to the broker after each poll (only
+        meaningful with a group).
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        group: Optional[str] = None,
+        serde: Optional[Serde] = None,
+        auto_commit: bool = True,
+        client_id: Optional[str] = None,
+    ) -> None:
+        self.broker = broker
+        self.group = group
+        self.serde = serde or JsonSerde()
+        self.auto_commit = auto_commit
+        self.client_id = client_id or f"consumer-{next(_consumer_ids)}"
+        self._subscriptions: List[str] = []
+        self._positions: Dict[Tuple[str, int], int] = {}
+        self._balanced = False
+        self._generation = -1
+        self.records_consumed = 0
+        self.bytes_consumed = 0
+
+    # ------------------------------------------------------------------
+    def subscribe(self, topics: List[str], balanced: bool = False) -> None:
+        """Subscribe to ``topics``.
+
+        With ``balanced=False`` (default) this consumer reads every
+        partition of every topic.  With ``balanced=True`` (requires a
+        group) it joins the broker's group coordinator, which divides
+        partitions among the group's members — Kafka's consumer-group
+        semantics.  Positions resume from the group's committed
+        offsets (or 0).
+        """
+        if balanced and self.group is None:
+            raise ValueError("balanced subscription requires a consumer group")
+        topic_partitions = {}
+        for name in topics:
+            topic = self.broker.topic(name)  # validates existence
+            if name not in self._subscriptions:
+                self._subscriptions.append(name)
+            topic_partitions[name] = topic.num_partitions
+        if balanced:
+            self._balanced = True
+            self._generation = self.broker.coordinator.join(
+                self.group, self.client_id, topic_partitions
+            )
+            self._refresh_assignment()
+            return
+        for name, num_partitions in topic_partitions.items():
+            for partition in range(num_partitions):
+                if (name, partition) in self._positions:
+                    continue
+                self._positions[(name, partition)] = self._committed_or_zero(
+                    name, partition
+                )
+
+    def _committed_or_zero(self, topic: str, partition: int) -> int:
+        if self.group is not None:
+            return self.broker.committed(self.group, topic, partition)
+        return 0
+
+    def _refresh_assignment(self) -> None:
+        assigned = self.broker.coordinator.assignment(
+            self.group, self.client_id
+        )
+        self._positions = {
+            (topic, partition): self._committed_or_zero(topic, partition)
+            for topic, partition in assigned
+        }
+
+    def close(self) -> None:
+        """Leave the group (balanced mode), triggering a rebalance."""
+        if self._balanced:
+            self.broker.coordinator.leave(self.group, self.client_id)
+            self._balanced = False
+            self._positions = {}
+
+    @property
+    def assigned_partitions(self) -> List[Tuple[str, int]]:
+        return sorted(self._positions)
+
+    @property
+    def subscriptions(self) -> List[str]:
+        return list(self._subscriptions)
+
+    def seek_to_end(self) -> None:
+        """Skip to the log end of every subscribed partition (consume
+        only records produced after this call)."""
+        for (topic, partition) in list(self._positions):
+            self._positions[(topic, partition)] = self.broker.end_offset(
+                topic, partition
+            )
+
+    def seek(self, topic: str, partition: int, offset: int) -> None:
+        if (topic, partition) not in self._positions:
+            raise KeyError(
+                f"consumer {self.client_id!r} is not subscribed to "
+                f"{topic!r}[{partition}]"
+            )
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative: {offset}")
+        self._positions[(topic, partition)] = offset
+
+    def position(self, topic: str, partition: int) -> int:
+        return self._positions[(topic, partition)]
+
+    # ------------------------------------------------------------------
+    def poll(self, max_records: int = 500) -> List[ConsumerRecord]:
+        """Fetch available records past the current positions.
+
+        Balanced consumers first check the group generation and pick
+        up any rebalance (another member joined or left).
+        """
+        if not self._subscriptions:
+            return []
+        if self._balanced:
+            generation = self.broker.coordinator.generation(self.group)
+            if generation != self._generation:
+                self._generation = generation
+                self._refresh_assignment()
+        out: List[ConsumerRecord] = []
+        budget = max_records
+        for (topic, partition), position in sorted(self._positions.items()):
+            if budget <= 0:
+                break
+            stored = self.broker.fetch(topic, partition, position, budget)
+            if not stored:
+                continue
+            for record in stored:
+                out.append(
+                    ConsumerRecord(
+                        topic=topic,
+                        partition=partition,
+                        offset=record.offset,
+                        timestamp=record.timestamp,
+                        key=(
+                            self.serde.deserialize(record.key)
+                            if record.key is not None
+                            else None
+                        ),
+                        value=self.serde.deserialize(record.value),
+                    )
+                )
+                self.bytes_consumed += record.size
+            new_position = stored[-1].offset + 1
+            self._positions[(topic, partition)] = new_position
+            budget -= len(stored)
+            if self.group is not None and self.auto_commit:
+                self.broker.commit(self.group, topic, partition, new_position)
+        self.records_consumed += len(out)
+        return out
+
+    def commit(self) -> None:
+        """Explicitly commit current positions (manual-commit mode)."""
+        if self.group is None:
+            raise RuntimeError(
+                "commit requires a consumer group; this consumer has none"
+            )
+        for (topic, partition), position in self._positions.items():
+            self.broker.commit(self.group, topic, partition, position)
+
+    def lag(self) -> int:
+        """Total records available but not yet consumed.
+
+        Positions below a truncated log's start offset only count the
+        records actually retained (Kafka's consumer-lag semantics).
+        """
+        total = 0
+        for (topic, partition), position in self._positions.items():
+            log = self.broker.topic(topic).partition(partition)
+            effective = max(position, log.start_offset)
+            total += log.end_offset - effective
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"Consumer(client_id={self.client_id!r}, group={self.group!r}, "
+            f"consumed={self.records_consumed})"
+        )

@@ -1,0 +1,99 @@
+"""Consumer-group coordination: partition assignment and rebalance.
+
+Kafka divides a topic's partitions among the live members of a
+consumer group so each record is processed once per group.  The paper
+leans on this for pipeline parallelism ("we assign three partitions
+for each topic to speed up reading and writing"); this module gives
+the substrate the same semantics:
+
+- members join a group for a set of topics;
+- the coordinator assigns partitions round-robin over members (sorted
+  by member id, deterministically);
+- every join or leave bumps the group *generation*; members discover
+  the rebalance on their next poll and refetch their assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class GroupState:
+    """Book-keeping for one consumer group."""
+
+    generation: int = 0
+    members: List[str] = field(default_factory=list)
+    topics: Dict[str, int] = field(default_factory=dict)  # topic -> partitions
+    assignment: Dict[str, List[Tuple[str, int]]] = field(default_factory=dict)
+
+
+class GroupCoordinator:
+    """Assign topic partitions to group members."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, GroupState] = {}
+
+    def _rebalance(self, state: GroupState) -> None:
+        state.generation += 1
+        members = sorted(state.members)
+        state.assignment = {member: [] for member in members}
+        if not members:
+            return
+        all_partitions = [
+            (topic, partition)
+            for topic in sorted(state.topics)
+            for partition in range(state.topics[topic])
+        ]
+        for index, target in enumerate(all_partitions):
+            state.assignment[members[index % len(members)]].append(target)
+
+    def join(
+        self,
+        group: str,
+        member_id: str,
+        topics: Dict[str, int],
+    ) -> int:
+        """Add (or re-register) a member; returns the new generation.
+
+        ``topics`` maps topic name to its partition count; the group's
+        topic set is the union of what members subscribe to.
+        """
+        state = self._groups.setdefault(group, GroupState())
+        if member_id not in state.members:
+            state.members.append(member_id)
+        for topic, partitions in topics.items():
+            existing = state.topics.get(topic)
+            if existing is not None and existing != partitions:
+                raise ValueError(
+                    f"group {group!r} saw topic {topic!r} with "
+                    f"{existing} partitions, now {partitions}"
+                )
+            state.topics[topic] = partitions
+        self._rebalance(state)
+        return state.generation
+
+    def leave(self, group: str, member_id: str) -> int:
+        """Remove a member; returns the new generation."""
+        state = self._groups.get(group)
+        if state is None or member_id not in state.members:
+            raise KeyError(f"member {member_id!r} is not in group {group!r}")
+        state.members.remove(member_id)
+        self._rebalance(state)
+        return state.generation
+
+    def generation(self, group: str) -> int:
+        state = self._groups.get(group)
+        return state.generation if state else 0
+
+    def assignment(self, group: str, member_id: str) -> List[Tuple[str, int]]:
+        """The member's current (topic, partition) list."""
+        state = self._groups.get(group)
+        if state is None or member_id not in state.assignment:
+            raise KeyError(f"member {member_id!r} is not in group {group!r}")
+        return list(state.assignment[member_id])
+
+    def members(self, group: str) -> List[str]:
+        state = self._groups.get(group)
+        return sorted(state.members) if state else []

@@ -1,0 +1,43 @@
+"""Record types crossing the streaming substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class RecordMetadata:
+    """Returned by a successful produce (Kafka's ``RecordMetadata``)."""
+
+    topic: str
+    partition: int
+    offset: int
+    timestamp: float
+    serialized_size: int
+
+
+@dataclass(frozen=True)
+class StoredRecord:
+    """What a partition log physically holds: serialized bytes."""
+
+    offset: int
+    timestamp: float
+    key: Optional[bytes]
+    value: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.value) + (len(self.key) if self.key else 0)
+
+
+@dataclass(frozen=True)
+class ConsumerRecord:
+    """What a consumer's poll returns: deserialized payloads."""
+
+    topic: str
+    partition: int
+    offset: int
+    timestamp: float
+    key: Any
+    value: Any

@@ -1,0 +1,65 @@
+"""Serialization for the streaming substrate.
+
+The paper implements a custom "serializer and deserializer to send and
+read the vehicular data" on top of Kafka; telemetry packets are ~200
+bytes.  JSON of the Table II fields lands in that range, so
+:class:`JsonSerde` is the default throughout.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+
+class SerdeError(ValueError):
+    """Payload could not be (de)serialized."""
+
+
+class Serde:
+    """Serializer/deserializer interface."""
+
+    def serialize(self, value: Any) -> bytes:
+        raise NotImplementedError
+
+    def deserialize(self, payload: bytes) -> Any:
+        raise NotImplementedError
+
+
+class JsonSerde(Serde):
+    """Compact JSON with deterministic key order."""
+
+    def serialize(self, value: Any) -> bytes:
+        try:
+            return json.dumps(
+                value, separators=(",", ":"), sort_keys=True
+            ).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise SerdeError(f"value is not JSON-serializable: {exc}") from exc
+
+    def deserialize(self, payload: bytes) -> Any:
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SerdeError(f"payload is not valid JSON: {exc}") from exc
+
+
+class RawSerde(Serde):
+    """Pass-through for pre-encoded bytes."""
+
+    def serialize(self, value: Any) -> bytes:
+        if isinstance(value, bytes):
+            return value
+        if isinstance(value, str):
+            return value.encode("utf-8")
+        raise SerdeError(f"RawSerde expects bytes or str, got {type(value)}")
+
+    def deserialize(self, payload: bytes) -> Any:
+        return payload
+
+
+def serialize_key(serde: Serde, key: Any) -> Optional[bytes]:
+    """Serialize an optional record key."""
+    if key is None:
+        return None
+    return serde.serialize(key)

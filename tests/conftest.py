@@ -1,0 +1,67 @@
+"""Shared fixtures: a labelled corridor dataset and trained detectors.
+
+Session-scoped because generation + labelling is the expensive part of
+the suite; tests must not mutate these objects.
+"""
+
+import pytest
+
+from repro.core.collaborative import summaries_from_upstream
+from repro.core.detector import AD3Detector
+from repro.dataset import DatasetGenerator, GeneratorConfig, Preprocessor
+from repro.geo import CityNetworkBuilder, RoadType
+
+
+@pytest.fixture(scope="session")
+def corridor_network():
+    return CityNetworkBuilder(seed=1).build_corridor()
+
+
+@pytest.fixture(scope="session")
+def labeled_dataset(corridor_network):
+    generator = DatasetGenerator(
+        corridor_network,
+        GeneratorConfig(n_cars=120, trips_per_car=6, seed=3, erroneous_rate=0.0),
+    )
+    dataset = generator.generate()
+    dataset.records = Preprocessor().run(dataset.records)
+    return dataset
+
+
+@pytest.fixture(scope="session")
+def trip_split(labeled_dataset):
+    return labeled_dataset.split_by_trip(0.8, seed=0)
+
+
+@pytest.fixture(scope="session")
+def motorway_detector(trip_split):
+    train, _ = trip_split
+    motorway = [r for r in train if r.road_type is RoadType.MOTORWAY]
+    return AD3Detector(RoadType.MOTORWAY).fit(motorway)
+
+
+@pytest.fixture(scope="session")
+def link_records(trip_split):
+    train, test = trip_split
+    return (
+        [r for r in train if r.road_type is RoadType.MOTORWAY_LINK],
+        [r for r in test if r.road_type is RoadType.MOTORWAY_LINK],
+    )
+
+
+@pytest.fixture(scope="session")
+def motorway_records(trip_split):
+    train, test = trip_split
+    return (
+        [r for r in train if r.road_type is RoadType.MOTORWAY],
+        [r for r in test if r.road_type is RoadType.MOTORWAY],
+    )
+
+
+@pytest.fixture(scope="session")
+def upstream_summaries(motorway_detector, motorway_records):
+    train_mw, test_mw = motorway_records
+    return (
+        summaries_from_upstream(motorway_detector, train_mw),
+        summaries_from_upstream(motorway_detector, test_mw),
+    )

@@ -1,0 +1,69 @@
+"""Tests for the online chain topology (carried-on summaries, live)."""
+
+import json
+
+import pytest
+
+from repro.core import ScenarioConfig, TestbedScenario
+from repro.core.system import default_training_dataset
+
+
+@pytest.fixture(scope="module")
+def training_dataset():
+    return default_training_dataset(seed=11, n_cars=60)
+
+
+@pytest.fixture(scope="module")
+def chain_result(training_dataset):
+    config = ScenarioConfig(n_vehicles=12, duration_s=6.0, seed=5)
+    scenario = TestbedScenario.chain(config, hops=3, dataset=training_dataset)
+    return scenario, scenario.run()
+
+
+class TestChainScenario:
+    def test_topology(self, chain_result):
+        scenario, result = chain_result
+        assert sorted(result.rsu_metrics) == [
+            "rsu-hop-1", "rsu-hop-2", "rsu-hop-3",
+        ]
+        assert scenario.rsus["rsu-hop-1"].neighbor_names == ["rsu-hop-2"]
+        assert scenario.rsus["rsu-hop-2"].neighbor_names == ["rsu-hop-3"]
+
+    def test_every_hop_saw_traffic(self, chain_result):
+        _, result = chain_result
+        for metrics in result.rsu_metrics.values():
+            assert metrics.n_events > 0
+
+    def test_summaries_carried_through_both_handovers(self, chain_result):
+        scenario, result = chain_result
+        assert result.rsu_metrics["rsu-hop-1"].summaries_sent == 12
+        assert result.rsu_metrics["rsu-hop-2"].summaries_received == 12
+        assert result.rsu_metrics["rsu-hop-2"].summaries_sent == 12
+        assert result.rsu_metrics["rsu-hop-3"].summaries_received == 12
+        # Hop 3's summaries merge hop 1's and hop 2's histories.
+        hop3 = scenario.rsus["rsu-hop-3"]
+        sample = next(iter(hop3.summaries.values()))
+        # ~10 Hz for ~2 s at hop 1 plus ~2 s at hop 2.
+        assert sample.n_predictions >= 20
+
+    def test_detection_quality_reported_per_hop(self, chain_result):
+        _, result = chain_result
+        for metrics in result.rsu_metrics.values():
+            assert metrics.detection is not None
+            assert 0.0 <= metrics.detection.accuracy <= 1.0
+
+    def test_validation(self, training_dataset):
+        with pytest.raises(ValueError):
+            TestbedScenario.chain(
+                ScenarioConfig(n_vehicles=2, duration_s=1.0),
+                hops=1,
+                dataset=training_dataset,
+            )
+
+    def test_result_serialises_to_json(self, chain_result):
+        _, result = chain_result
+        payload = json.dumps(result.to_dict())
+        restored = json.loads(payload)
+        assert restored["n_vehicles"] == 12
+        assert set(restored["rsus"]) == set(result.rsu_metrics)
+        assert restored["rsus"]["rsu-hop-3"]["detection"]["f1"] >= 0.0

@@ -1,0 +1,206 @@
+"""Tests for AD3, centralized, and CAD3 detectors — including the
+paper's headline ordering (Fig. 7 / Table IV)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AD3Detector, CentralizedDetector, CollaborativeDetector
+from repro.core.collaborative import NEUTRAL_PRIOR, summaries_from_upstream
+from repro.dataset.schema import ABNORMAL, NORMAL
+from repro.geo import RoadType
+from repro.ml import evaluate_binary
+
+
+class TestAD3Detector:
+    def test_rejects_wrong_road_type(self, link_records):
+        train, _ = link_records
+        detector = AD3Detector(RoadType.MOTORWAY)
+        with pytest.raises(ValueError, match="received a"):
+            detector.fit(train)
+
+    def test_fit_predict_labels(self, link_records):
+        train, test = link_records
+        detector = AD3Detector(RoadType.MOTORWAY_LINK).fit(train)
+        predictions = detector.predict(test)
+        assert set(np.unique(predictions)) <= {NORMAL, ABNORMAL}
+        assert detector.fitted
+
+    def test_better_than_chance(self, link_records):
+        train, test = link_records
+        detector = AD3Detector(RoadType.MOTORWAY_LINK).fit(train)
+        y_true = np.array([r.label for r in test])
+        accuracy = np.mean(detector.predict(test) == y_true)
+        assert accuracy > 0.7
+
+    def test_normal_proba_in_unit_interval(self, link_records):
+        train, test = link_records
+        detector = AD3Detector(RoadType.MOTORWAY_LINK).fit(train)
+        probs = detector.predict_normal_proba(test)
+        assert np.all((probs >= 0.0) & (probs <= 1.0))
+
+    def test_detect_consistency(self, link_records):
+        """predict() and the probability column must agree: class is
+        normal iff P(normal) >= 0.5 (binary NB)."""
+        train, test = link_records
+        detector = AD3Detector(RoadType.MOTORWAY_LINK).fit(train)
+        classes, probs = detector.detect(test[:500])
+        agree = (classes == NORMAL) == (probs >= 0.5)
+        assert np.mean(agree) > 0.999
+
+    def test_empty_input(self, link_records):
+        train, _ = link_records
+        detector = AD3Detector(RoadType.MOTORWAY_LINK).fit(train)
+        assert detector.predict([]).size == 0
+        assert detector.predict_normal_proba([]).size == 0
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            AD3Detector(RoadType.MOTORWAY).fit([])
+
+
+class TestCentralizedDetector:
+    def test_onehot_encoding_does_not_rescue_it(self, trip_split, link_records):
+        """The centralized gap is structural, not an encoding artefact:
+        one-hot road types perform about the same as ordinal codes, and
+        both stay far below the per-road AD3 model."""
+        train, _ = trip_split
+        link_train, link_test = link_records
+        y_true = np.array([r.label for r in link_test])
+        ordinal = CentralizedDetector(encoding="ordinal").fit(train)
+        onehot = CentralizedDetector(encoding="onehot").fit(train)
+        ad3 = AD3Detector(RoadType.MOTORWAY_LINK).fit(link_train)
+        f1 = lambda model, *args: evaluate_binary(
+            y_true, model.predict(link_test, *args)
+        ).f1
+        assert abs(f1(ordinal) - f1(onehot)) < 0.08
+        assert f1(ad3) > f1(onehot) + 0.08
+        assert f1(ad3) > f1(ordinal) + 0.08
+
+    def test_unknown_encoding_rejected(self, trip_split):
+        train, _ = trip_split
+        with pytest.raises(ValueError):
+            CentralizedDetector(encoding="phrenology").fit(train)
+
+    def test_fits_mixed_road_types(self, trip_split):
+        train, test = trip_split
+        detector = CentralizedDetector().fit(train)
+        predictions = detector.predict(test)
+        assert len(predictions) == len(test)
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            CentralizedDetector().fit([])
+
+    def test_empty_predict(self, trip_split):
+        train, _ = trip_split
+        detector = CentralizedDetector().fit(train)
+        assert detector.predict([]).size == 0
+
+
+class TestCollaborativeDetector:
+    def test_eq1_fusion(self):
+        p_nb = np.array([0.8, 0.2])
+        p_prev = np.array([0.4, 0.6])
+        fused = CollaborativeDetector.fuse(p_nb, p_prev)
+        assert fused == pytest.approx([0.6, 0.4])
+
+    def test_fit_and_predict(self, link_records, upstream_summaries):
+        train, test = link_records
+        train_summaries, test_summaries = upstream_summaries
+        detector = CollaborativeDetector(RoadType.MOTORWAY_LINK).fit(
+            train, train_summaries
+        )
+        predictions = detector.predict(test, test_summaries)
+        assert len(predictions) == len(test)
+        assert detector.fitted
+
+    def test_predict_before_fit_raises(self, link_records):
+        _, test = link_records
+        with pytest.raises(RuntimeError):
+            CollaborativeDetector(RoadType.MOTORWAY_LINK).predict(test, {})
+
+    def test_missing_history_uses_neutral_prior(self, link_records):
+        train, test = link_records
+        detector = CollaborativeDetector(RoadType.MOTORWAY_LINK)
+        history = detector._history_vector(test[:3], {})
+        assert history.tolist() == [NEUTRAL_PRIOR] * 3
+
+    def test_explain_mentions_fusion_features(
+        self, link_records, upstream_summaries
+    ):
+        train, _ = link_records
+        train_summaries, _ = upstream_summaries
+        detector = CollaborativeDetector(RoadType.MOTORWAY_LINK).fit(
+            train, train_summaries
+        )
+        text = detector.explain()
+        assert "P_X" in text or "Class_NB" in text or "Hour" in text
+
+
+class TestSummariesFromUpstream:
+    def test_one_summary_per_car(self, motorway_detector, motorway_records):
+        _, test_mw = motorway_records
+        summaries = summaries_from_upstream(motorway_detector, test_mw)
+        cars = {r.car_id for r in test_mw}
+        assert set(summaries) == cars
+
+    def test_mean_prob_in_unit_interval(
+        self, motorway_detector, motorway_records
+    ):
+        _, test_mw = motorway_records
+        for summary in summaries_from_upstream(
+            motorway_detector, test_mw
+        ).values():
+            assert 0.0 <= summary.mean_normal_prob <= 1.0
+            assert summary.n_predictions >= 1
+
+    def test_empty_records(self, motorway_detector):
+        assert summaries_from_upstream(motorway_detector, []) == {}
+
+
+class TestPaperOrdering:
+    """The headline result: CAD3 > AD3 > centralized (Fig. 7, Table IV)."""
+
+    @pytest.fixture(scope="class")
+    def reports(
+        self, trip_split, link_records, upstream_summaries, motorway_detector
+    ):
+        train, _ = trip_split
+        link_train, link_test = link_records
+        train_summaries, test_summaries = upstream_summaries
+
+        centralized = CentralizedDetector().fit(train)
+        ad3 = AD3Detector(RoadType.MOTORWAY_LINK).fit(link_train)
+        cad3 = CollaborativeDetector(
+            RoadType.MOTORWAY_LINK, nb=ad3
+        ).fit(link_train, train_summaries, refit_nb=False)
+
+        y_true = np.array([r.label for r in link_test])
+        return {
+            "centralized": evaluate_binary(y_true, centralized.predict(link_test)),
+            "ad3": evaluate_binary(y_true, ad3.predict(link_test)),
+            "cad3": evaluate_binary(
+                y_true, cad3.predict(link_test, test_summaries)
+            ),
+        }
+
+    def test_f1_ordering(self, reports):
+        assert reports["cad3"].f1 > reports["ad3"].f1 > reports["centralized"].f1
+
+    def test_accuracy_ordering(self, reports):
+        assert (
+            reports["cad3"].accuracy
+            > reports["ad3"].accuracy
+            > reports["centralized"].accuracy
+        )
+
+    def test_fn_rate_ordering(self, reports):
+        """Table IV: CAD3 has the fewest dangerous missed detections."""
+        assert (
+            reports["cad3"].fn_rate
+            < reports["ad3"].fn_rate
+            < reports["centralized"].fn_rate
+        )
+
+    def test_tp_rate_ordering(self, reports):
+        assert reports["cad3"].tp_rate > reports["centralized"].tp_rate

@@ -1,0 +1,84 @@
+"""Tests for RSU failure and vehicle failover."""
+
+import pytest
+
+from repro.core import ScenarioConfig, TestbedScenario
+from repro.core.system import default_training_dataset
+from repro.geo import RoadType
+
+
+@pytest.fixture(scope="module")
+def training_dataset():
+    return default_training_dataset(seed=11, n_cars=60)
+
+
+class TestRsuFailure:
+    def test_failed_rsu_stops_detecting(self, training_dataset):
+        config = ScenarioConfig(n_vehicles=8, duration_s=3.0, seed=5)
+        scenario = TestbedScenario.single_rsu(config, dataset=training_dataset)
+        rsu = scenario.rsus["rsu-motorway"]
+        scenario.sim.at(1.5, rsu.fail)
+        scenario.run()
+        assert rsu.failed
+        # No detections after the failure instant.
+        assert all(e.detected_at <= 1.6 for e in rsu.events)
+
+    def test_failed_rsu_refuses_handover(self, training_dataset):
+        config = ScenarioConfig(n_vehicles=8, duration_s=2.0, seed=5)
+        scenario = TestbedScenario.corridor(
+            config, motorways=2, dataset=training_dataset
+        )
+        rsu = scenario.rsus["rsu-mw-1"]
+        scenario.sim.run_until(1.0)
+        rsu.fail()
+        # Handover silently yields False (history is lost with the node).
+        assert rsu.handover(1, "rsu-mw-link") is False
+
+    def test_failover_rehomes_vehicles(self, training_dataset):
+        config = ScenarioConfig(n_vehicles=8, duration_s=4.0, seed=5)
+        scenario = TestbedScenario.corridor(
+            config, motorways=2, dataset=training_dataset
+        )
+        scenario.schedule_failover("rsu-mw-1", "rsu-mw-2", at_s=2.0)
+        result = scenario.run()
+
+        failed = scenario.rsus["rsu-mw-1"]
+        fallback = scenario.rsus["rsu-mw-2"]
+        assert failed.failed
+        # The fallback RSU processed roughly double traffic after t=2.
+        assert (
+            result.rsu_metrics["rsu-mw-2"].n_events
+            > result.rsu_metrics["rsu-mw-1"].n_events
+        )
+        # All original rsu-mw-1 vehicles now point at rsu-mw-2.
+        assert all(v.rsu is not failed for v in scenario.vehicles)
+        # Detection continued: fallback kept issuing events past t=2.
+        assert any(e.detected_at > 3.0 for e in fallback.events)
+
+    def test_failover_to_self_rejected(self, training_dataset):
+        config = ScenarioConfig(n_vehicles=4, duration_s=1.0, seed=5)
+        scenario = TestbedScenario.corridor(
+            config, motorways=2, dataset=training_dataset
+        )
+        with pytest.raises(ValueError):
+            scenario.schedule_failover("rsu-mw-1", "rsu-mw-1", at_s=0.5)
+
+    def test_warnings_continue_after_failover(self, training_dataset):
+        """End-to-end resilience: drivers keep receiving warnings."""
+        config = ScenarioConfig(n_vehicles=16, duration_s=4.0, seed=5)
+        scenario = TestbedScenario.corridor(
+            config, motorways=2, dataset=training_dataset
+        )
+        scenario.schedule_failover("rsu-mw-1", "rsu-mw-2", at_s=2.0)
+        scenario.run()
+        late_warnings = 0
+        for vehicle in scenario.vehicles:
+            late_warnings += sum(
+                1
+                for latency, received in zip(
+                    vehicle.stats.e2e_latencies_s,
+                    vehicle.stats.dissemination_latencies_s,
+                )
+                if latency > 0  # any received warning counts
+            )
+        assert late_warnings > 0

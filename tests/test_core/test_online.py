@@ -1,0 +1,211 @@
+"""Tests for online profiles, labelling, and the online detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineAD3Detector, OnlineLabeler, RollingProfile
+from repro.dataset.schema import ABNORMAL, NORMAL, TelemetryRecord
+from repro.geo import RoadType
+
+
+def make_record(speed, accel=0.0, hour=8):
+    return TelemetryRecord(
+        car_id=1,
+        road_id=1,
+        accel_ms2=accel,
+        speed_kmh=speed,
+        hour=hour,
+        day=4,
+        road_type=RoadType.MOTORWAY,
+        road_mean_speed_kmh=160.0,
+    )
+
+
+class TestRollingProfile:
+    def test_tracks_stationary_mean(self):
+        rng = np.random.default_rng(0)
+        profile = RollingProfile(half_life=100)
+        for value in rng.normal(160, 15, 2000):
+            profile.update(float(value))
+        assert profile.mean == pytest.approx(160.0, abs=5.0)
+        assert profile.std == pytest.approx(15.0, rel=0.3)
+
+    def test_forgets_old_regime(self):
+        rng = np.random.default_rng(1)
+        profile = RollingProfile(half_life=100)
+        for value in rng.normal(160, 10, 1000):
+            profile.update(float(value))
+        for value in rng.normal(100, 10, 1000):
+            profile.update(float(value))
+        # After 10 half-lives the old regime's weight is ~1/1000.
+        assert profile.mean == pytest.approx(100.0, abs=5.0)
+
+    def test_empty_profile_raises(self):
+        with pytest.raises(RuntimeError):
+            RollingProfile().mean
+
+    def test_half_life_validation(self):
+        with pytest.raises(ValueError):
+            RollingProfile(half_life=0.0)
+
+    def test_ready_needs_data_and_variance(self):
+        profile = RollingProfile()
+        assert not profile.ready
+        for _ in range(20):
+            profile.update(5.0)
+        assert not profile.ready  # zero variance
+        profile.update(6.0)
+        assert profile.ready
+
+
+class TestOnlineLabeler:
+    def warm_labeler(self, mu=160.0, sigma=15.0, n=1000, seed=2):
+        rng = np.random.default_rng(seed)
+        labeler = OnlineLabeler(half_life=200)
+        for speed, accel in zip(
+            rng.normal(mu, sigma, n), rng.normal(0, 0.6, n)
+        ):
+            labeler.observe(make_record(max(0.0, float(speed)), float(accel)))
+        return labeler
+
+    def test_warmup_returns_none(self):
+        labeler = OnlineLabeler()
+        assert labeler.label(make_record(160.0)) is None
+
+    def test_labels_against_current_band(self):
+        labeler = self.warm_labeler()
+        assert labeler.label(make_record(160.0)) == NORMAL
+        assert labeler.label(make_record(240.0)) == ABNORMAL
+        assert labeler.label(make_record(80.0)) == ABNORMAL
+
+    def test_band_follows_drift(self):
+        labeler = self.warm_labeler(mu=160.0)
+        lo_before, hi_before = labeler.speed_band()
+        rng = np.random.default_rng(3)
+        for speed in rng.normal(100.0, 10.0, 3000):
+            labeler.observe(make_record(max(0.0, float(speed))))
+        lo_after, hi_after = labeler.speed_band()
+        assert hi_after < hi_before
+        # 160 was normal before the drift, abnormal after.
+        assert labeler.label(make_record(160.0)) == ABNORMAL
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineLabeler(n_sigma=0.0)
+
+
+class TestOnlineAD3Detector:
+    def stream(self, mu, n, seed):
+        rng = np.random.default_rng(seed)
+        records = []
+        for speed, accel in zip(
+            rng.normal(mu, 15.0, n), rng.normal(0, 0.6, n)
+        ):
+            records.append(make_record(max(0.0, float(speed)), float(accel)))
+        return records
+
+    def test_becomes_ready_and_predicts(self):
+        detector = OnlineAD3Detector(RoadType.MOTORWAY, refit_every=100)
+        detector.observe(self.stream(160.0, 1500, seed=4))
+        assert detector.ready
+        test = self.stream(160.0, 200, seed=5)
+        predictions = detector.predict(test)
+        assert set(np.unique(predictions)) <= {NORMAL, ABNORMAL}
+        probs = detector.predict_normal_proba(test)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_predict_before_ready_raises(self):
+        detector = OnlineAD3Detector(RoadType.MOTORWAY)
+        with pytest.raises(RuntimeError):
+            detector.predict([make_record(100.0)])
+
+    def test_wrong_road_type_rejected(self):
+        detector = OnlineAD3Detector(RoadType.MOTORWAY_LINK)
+        with pytest.raises(ValueError):
+            detector.observe([make_record(100.0)])
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            OnlineAD3Detector(RoadType.MOTORWAY, mode="telepathy")
+
+    def test_window_mode_adapts_to_drift(self):
+        detector = OnlineAD3Detector(
+            RoadType.MOTORWAY, mode="window", window=2000, refit_every=200
+        )
+        detector.observe(self.stream(160.0, 2500, seed=6))
+        detector.observe(self.stream(100.0, 4000, seed=7))
+        # Post-drift, a 160 km/h record is abnormal; 100 km/h normal.
+        test_fast = [make_record(160.0) for _ in range(50)]
+        test_mid = [make_record(100.0) for _ in range(50)]
+        assert np.mean(detector.predict(test_fast) == ABNORMAL) > 0.8
+        assert np.mean(detector.predict(test_mid) == NORMAL) > 0.8
+
+    def test_cumulative_mode_learns(self):
+        detector = OnlineAD3Detector(RoadType.MOTORWAY, mode="cumulative")
+        detector.observe(self.stream(160.0, 2000, seed=8))
+        assert detector.ready
+        accuracy = np.mean(
+            detector.predict([make_record(160.0)] * 20) == NORMAL
+        )
+        assert accuracy > 0.8
+
+    def test_empty_observe_and_predict(self):
+        detector = OnlineAD3Detector(RoadType.MOTORWAY)
+        detector.observe([])
+        assert detector.predict([]).size == 0
+
+    def test_detect_during_warmup_is_all_normal(self):
+        detector = OnlineAD3Detector(RoadType.MOTORWAY)
+        classes, probs = detector.detect([make_record(500.0)] * 3)
+        assert classes.tolist() == [NORMAL] * 3
+        assert probs.tolist() == [1.0] * 3
+
+    def test_rsu_with_online_detector_warms_up_and_detects(self):
+        """End-to-end: an RSU running an online detector issues no
+        warnings during warm-up, then starts detecting."""
+        from repro.core import RsuConfig, RsuNode
+        from repro.core.vehicle import VehicleNode
+        from repro.microbatch import ProcessingModel
+        from repro.net.dsrc import DsrcChannel
+        from repro.simkernel import Simulator
+
+        detector = OnlineAD3Detector(
+            RoadType.MOTORWAY, mode="window", window=2000, refit_every=100,
+            half_life=100,
+        )
+        sim = Simulator()
+        rsu = RsuNode(
+            sim,
+            "rsu-online",
+            detector,
+            config=RsuConfig(
+                processing_model=ProcessingModel(jitter_fraction=0.0)
+            ),
+        )
+        channel = DsrcChannel(sim, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        stream = [
+            make_record(max(0.0, float(s)), float(a))
+            for s, a in zip(rng.normal(160, 15, 400), rng.normal(0, 0.6, 400))
+        ]
+        # 8 vehicles at 10 Hz feed ~80 records/s; warm-up needs ~100+.
+        vehicles = [
+            VehicleNode(
+                sim, i + 1, stream[i::8], rsu, channel,
+                rng=np.random.default_rng(10 + i),
+            )
+            for i in range(8)
+        ]
+        rsu.start(until=20.0)
+        for vehicle in vehicles:
+            vehicle.start(until=20.0)
+        sim.run_until(20.5)
+        assert detector.ready
+        assert detector.observations > 100
+        # Warnings only fire once the model came online.
+        assert rsu.warnings_issued > 0
+        first_warning = min(
+            (e.detected_at for e in rsu.events if e.abnormal),
+            default=None,
+        )
+        assert first_warning is not None and first_warning > 0.5

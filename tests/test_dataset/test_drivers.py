@@ -1,0 +1,112 @@
+"""Tests for the driver behaviour model."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import DriverModel, DriverProfile
+from repro.dataset.drivers import DriverState
+from repro.dataset.schema import AnomalyKind
+
+
+def make_model(aggressiveness=0.5, seed=0, **kwargs):
+    profile = DriverProfile(
+        car_id=1, aggressiveness=aggressiveness, speed_bias_kmh=0.0
+    )
+    return DriverModel(profile, np.random.default_rng(seed), **kwargs)
+
+
+class TestDriverProfile:
+    def test_aggressiveness_bounds(self):
+        with pytest.raises(ValueError):
+            DriverProfile(car_id=1, aggressiveness=1.5, speed_bias_kmh=0.0)
+
+
+class TestDriverModel:
+    def test_begins_trip_calm_or_anomalous(self):
+        model = make_model()
+        model.begin_trip()
+        assert model.state in (DriverState.CALM, DriverState.ANOMALOUS)
+
+    def test_episode_rate_scales_with_aggressiveness(self):
+        def episode_fraction(aggressiveness):
+            model = make_model(aggressiveness, seed=1)
+            count = 0
+            for _ in range(500):
+                model.begin_trip()
+                count += model.in_episode
+            return count / 500
+
+        assert episode_fraction(0.9) > episode_fraction(0.05)
+
+    def test_episodes_persist_across_handover(self):
+        """The property CAD3 exploits: episodes usually survive a
+        segment change."""
+        model = make_model(0.8, seed=2, episode_continue_prob=0.85)
+        persisted = total = 0
+        for _ in range(1000):
+            model.begin_trip()
+            if not model.in_episode:
+                continue
+            total += 1
+            model.on_segment_change()
+            persisted += model.in_episode
+        assert total > 50
+        assert persisted / total == pytest.approx(0.85, abs=0.06)
+
+    def test_calm_driver_can_start_episode_mid_trip(self):
+        model = make_model(0.9, seed=3, episode_start_prob=0.0, mid_trip_start_prob=0.5)
+        started = 0
+        for _ in range(500):
+            model.begin_trip()
+            assert not model.in_episode
+            model.on_segment_change()
+            started += model.in_episode
+        assert started > 50
+
+    def test_speeding_episode_raises_speed(self):
+        model = make_model(0.9, seed=4)
+        model._start_episode()
+        model.anomaly_kind = AnomalyKind.SPEEDING
+        speeds = [model.sample_speed(100.0, 10.0) for _ in range(200)]
+        assert np.mean(speeds) > 105.0
+
+    def test_slowing_episode_lowers_speed(self):
+        model = make_model(0.9, seed=5)
+        model._start_episode()
+        model.anomaly_kind = AnomalyKind.SLOWING
+        speeds = [model.sample_speed(100.0, 10.0) for _ in range(200)]
+        assert np.mean(speeds) < 95.0
+
+    def test_calm_speed_tracks_mean(self):
+        model = make_model(0.3, seed=6, episode_start_prob=0.0)
+        model.begin_trip()
+        speeds = [model.sample_speed(100.0, 10.0) for _ in range(500)]
+        assert np.mean(speeds) == pytest.approx(100.0, abs=2.0)
+
+    def test_speed_never_negative(self):
+        model = make_model(1.0, seed=7)
+        model._start_episode()
+        model.anomaly_kind = AnomalyKind.SLOWING
+        for _ in range(200):
+            assert model.sample_speed(5.0, 10.0) >= 0.0
+
+    def test_sudden_acceleration_bursts(self):
+        model = make_model(0.9, seed=8)
+        model._start_episode()
+        model.anomaly_kind = AnomalyKind.SUDDEN_ACCELERATION
+        accels = [abs(model.sample_accel(10.0, 1.0)) for _ in range(100)]
+        assert np.mean(accels) > 2.0
+
+    def test_calm_accel_is_small(self):
+        model = make_model(0.1, seed=9, episode_start_prob=0.0)
+        model.begin_trip()
+        accels = [abs(model.sample_accel(10.0, 1.0)) for _ in range(500)]
+        assert np.mean(accels) < 1.0
+
+    def test_episode_ends_eventually(self):
+        model = make_model(0.9, seed=10, episode_continue_prob=0.2)
+        model.begin_trip()
+        model._start_episode()
+        for _ in range(100):
+            model.on_segment_change()
+        assert not model.in_episode

@@ -1,0 +1,90 @@
+"""Tests for city-boundary trip extraction."""
+
+import pytest
+
+from repro.dataset.schema import TrajectoryPoint, Trip
+from repro.geo.coords import BoundingBox
+from repro.dataset.extract import extract_trips
+
+BBOX = BoundingBox(south=22.0, west=114.0, north=23.0, east=115.0)
+
+
+def make_trip(object_id, points):
+    trajectory = [
+        TrajectoryPoint(
+            object_id=object_id, lon=lon, lat=lat, gps_time=float(index)
+        )
+        for index, (lat, lon) in enumerate(points)
+    ]
+    return Trip(
+        object_id=object_id,
+        car_id=object_id,
+        start_time=0.0,
+        stop_time=float(len(points)),
+        trajectory=trajectory,
+    )
+
+
+class TestExtractTrips:
+    def test_fully_inside_kept_whole(self):
+        trip = make_trip(1, [(22.5, 114.5), (22.6, 114.6)])
+        kept, report = extract_trips([trip], BBOX)
+        assert kept == [trip]
+        assert report.trips_kept == 1
+        assert report.trips_clipped == 0
+        assert report.fix_retention == 1.0
+
+    def test_fully_outside_dropped(self):
+        trip = make_trip(1, [(30.0, 100.0), (30.1, 100.1)])
+        kept, report = extract_trips([trip], BBOX)
+        assert kept == []
+        assert report.trips_dropped == 1
+        assert report.fixes_kept == 0
+
+    def test_crossing_trip_clipped(self):
+        trip = make_trip(
+            1,
+            [(30.0, 100.0), (22.5, 114.5), (22.6, 114.6), (30.0, 100.0)],
+        )
+        kept, report = extract_trips([trip], BBOX)
+        assert report.trips_clipped == 1
+        clipped = kept[0]
+        assert len(clipped.trajectory) == 2
+        assert clipped.start_time == 1.0
+        assert clipped.stop_time == 2.0
+        assert clipped.start_lat == 22.5
+        assert clipped.stop_lat == 22.6
+        assert clipped.object_id == trip.object_id
+
+    def test_mixed_population(self):
+        trips = [
+            make_trip(1, [(22.5, 114.5)]),
+            make_trip(2, [(30.0, 100.0)]),
+            make_trip(3, [(22.5, 114.5), (30.0, 100.0)]),
+        ]
+        kept, report = extract_trips(trips, BBOX)
+        assert len(kept) == 2
+        assert report.trips_in == 3
+        assert report.trips_kept == 1
+        assert report.trips_clipped == 1
+        assert report.trips_dropped == 1
+        assert report.fix_retention == pytest.approx(2 / 4)
+
+    def test_empty_input(self):
+        kept, report = extract_trips([], BBOX)
+        assert kept == []
+        assert report.fix_retention == 0.0
+
+    def test_synthetic_trips_survive_their_own_bbox(self):
+        """Trips generated inside Shenzhen's bbox must all be kept."""
+        from repro.dataset import DatasetGenerator, GeneratorConfig
+        from repro.geo import CityNetworkBuilder
+        from repro.geo.coords import SHENZHEN_BBOX
+
+        network = CityNetworkBuilder(seed=1).build_corridor()
+        dataset = DatasetGenerator(
+            network, GeneratorConfig(n_cars=5, trips_per_car=2, seed=2)
+        ).generate(with_trajectories=True)
+        kept, report = extract_trips(dataset.trips, SHENZHEN_BBOX)
+        assert report.trips_dropped == 0
+        assert len(kept) == len(dataset.trips)

@@ -1,0 +1,155 @@
+"""Tests for the synthetic dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import DatasetGenerator, GeneratorConfig
+from repro.geo import CityNetworkBuilder, RoadType
+
+
+@pytest.fixture(scope="module")
+def corridor():
+    return CityNetworkBuilder(seed=1).build_corridor()
+
+
+@pytest.fixture(scope="module")
+def small_dataset(corridor):
+    generator = DatasetGenerator(
+        corridor, GeneratorConfig(n_cars=40, trips_per_car=4, seed=9)
+    )
+    return generator.generate()
+
+
+class TestGeneratorConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_cars=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_days=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(sample_period_s=0.0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(erroneous_rate=1.0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(route_plan="flying")
+
+
+class TestGeneration:
+    def test_produces_records(self, small_dataset):
+        assert len(small_dataset.records) > 100
+
+    def test_every_car_appears(self, small_dataset):
+        cars = {record.car_id for record in small_dataset.records}
+        assert cars == set(range(1, 41))
+
+    def test_corridor_routes_cover_both_road_types(self, small_dataset):
+        types = {record.road_type for record in small_dataset.records}
+        assert types == {RoadType.MOTORWAY, RoadType.MOTORWAY_LINK}
+
+    def test_deterministic(self, corridor):
+        config = GeneratorConfig(n_cars=10, trips_per_car=3, seed=123)
+        first = DatasetGenerator(corridor, config).generate()
+        second = DatasetGenerator(corridor, config).generate()
+        assert len(first.records) == len(second.records)
+        assert all(
+            a.speed_kmh == b.speed_kmh and a.car_id == b.car_id
+            for a, b in zip(first.records, second.records)
+        )
+
+    def test_seed_changes_output(self, corridor):
+        first = DatasetGenerator(
+            corridor, GeneratorConfig(n_cars=10, seed=1)
+        ).generate()
+        second = DatasetGenerator(
+            corridor, GeneratorConfig(n_cars=10, seed=2)
+        ).generate()
+        speeds_a = [r.speed_kmh for r in first.records[:50]]
+        speeds_b = [r.speed_kmh for r in second.records[:50]]
+        assert speeds_a != speeds_b
+
+    def test_motorway_speeds_realistic(self, small_dataset):
+        speeds = [
+            r.speed_kmh
+            for r in small_dataset.by_road_type(RoadType.MOTORWAY)
+            if r.speed_kmh < 300
+        ]
+        assert 100.0 < np.mean(speeds) < 180.0
+
+    def test_anomaly_kinds_present(self, small_dataset):
+        kinds = {r.anomaly_kind.value for r in small_dataset.records}
+        assert "none" in kinds
+        assert len(kinds) >= 3  # at least two anomaly categories occur
+
+    def test_trip_hours_bimodal_at_rush(self, corridor):
+        dataset = DatasetGenerator(
+            corridor, GeneratorConfig(n_cars=200, trips_per_car=5, seed=4)
+        ).generate()
+        hours = np.array([r.hour for r in dataset.records])
+        rush = np.sum((np.abs(hours - 8) <= 2) | (np.abs(hours - 18) <= 2))
+        assert rush / len(hours) > 0.4
+
+    def test_with_trajectories(self, corridor):
+        dataset = DatasetGenerator(
+            corridor, GeneratorConfig(n_cars=5, trips_per_car=2, seed=6)
+        ).generate(with_trajectories=True)
+        assert dataset.trips
+        for trip in dataset.trips:
+            assert trip.trajectory
+            times = [p.gps_time for p in trip.trajectory]
+            assert times == sorted(times)
+            assert trip.stop_time >= trip.start_time
+
+    def test_erroneous_rate_injects_bad_records(self, corridor):
+        dataset = DatasetGenerator(
+            corridor,
+            GeneratorConfig(n_cars=50, trips_per_car=5, seed=7, erroneous_rate=0.05),
+        ).generate()
+        absurd = [r for r in dataset.records if r.speed_kmh > 350.0]
+        assert absurd
+
+    def test_record_timestamps_increase_within_trip(self, small_dataset):
+        by_trip = {}
+        for record in small_dataset.records:
+            by_trip.setdefault(record.trip_id, []).append(record.timestamp)
+        for timestamps in by_trip.values():
+            assert timestamps == sorted(timestamps)
+
+    def test_trip_ids_belong_to_one_car(self, small_dataset):
+        cars_per_trip = {}
+        for record in small_dataset.records:
+            cars_per_trip.setdefault(record.trip_id, set()).add(record.car_id)
+        assert all(len(cars) == 1 for cars in cars_per_trip.values())
+
+
+class TestSplits:
+    def test_split_fractions(self, small_dataset):
+        train, test = small_dataset.split(0.8, seed=0)
+        total = len(small_dataset.records)
+        assert len(train) + len(test) == total
+        assert abs(len(train) - 0.8 * total) <= 1
+
+    def test_split_validation(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.split(1.0)
+
+    def test_split_by_trip_keeps_trips_together(self, small_dataset):
+        train, test = small_dataset.split_by_trip(0.8, seed=0)
+        train_trips = {r.trip_id for r in train}
+        test_trips = {r.trip_id for r in test}
+        assert not train_trips & test_trips
+        assert len(train) + len(test) == len(small_dataset.records)
+
+    def test_split_deterministic(self, small_dataset):
+        a_train, _ = small_dataset.split(0.8, seed=5)
+        b_train, _ = small_dataset.split(0.8, seed=5)
+        assert [r.timestamp for r in a_train] == [r.timestamp for r in b_train]
+
+
+class TestRandomRoutePlan:
+    def test_random_walk_routes(self):
+        network = CityNetworkBuilder(seed=2).build_corridor()
+        dataset = DatasetGenerator(
+            network,
+            GeneratorConfig(n_cars=10, trips_per_car=3, seed=8, route_plan="random"),
+        ).generate()
+        assert dataset.records

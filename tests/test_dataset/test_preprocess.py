@@ -1,0 +1,193 @@
+"""Tests for filtering, labelling, and Eq. 4 derivation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import (
+    DatasetGenerator,
+    FilterConfig,
+    GeneratorConfig,
+    Preprocessor,
+    SigmaCutoffLabeler,
+    derive_telemetry,
+)
+from repro.dataset.preprocess import road_mean_speeds
+from repro.dataset.schema import ABNORMAL, NORMAL, TelemetryRecord
+from repro.geo import CityNetworkBuilder, RoadType
+
+
+def make_record(speed, accel=0.0, road_type=RoadType.MOTORWAY, **kw):
+    defaults = dict(
+        car_id=1,
+        road_id=1,
+        accel_ms2=accel,
+        speed_kmh=speed,
+        hour=8,
+        day=4,
+        road_type=road_type,
+        road_mean_speed_kmh=160.0,
+    )
+    defaults.update(kw)
+    return TelemetryRecord(**defaults)
+
+
+class TestFilterConfig:
+    def test_keeps_normal(self):
+        assert FilterConfig().keep(make_record(150.0, 0.5))
+
+    def test_drops_absurd_speed(self):
+        assert not FilterConfig().keep(make_record(400.0))
+
+    def test_drops_absurd_accel(self):
+        assert not FilterConfig().keep(make_record(100.0, accel=30.0))
+
+    def test_drops_stuck_sensor(self):
+        assert not FilterConfig().keep(make_record(0.0, 0.0))
+
+    def test_keeps_stuck_when_disabled(self):
+        config = FilterConfig(drop_stuck=False)
+        assert config.keep(make_record(0.0, 0.0))
+
+    def test_drops_nan(self):
+        assert not FilterConfig().keep(make_record(float("nan")))
+
+
+class TestSigmaCutoffLabeler:
+    def build_gaussian_records(self, n=2000, mu=160.0, sigma=20.0, seed=0):
+        rng = np.random.default_rng(seed)
+        return [
+            make_record(max(0.0, float(s)), accel=float(a))
+            for s, a in zip(
+                rng.normal(mu, sigma, n), rng.normal(0.0, 0.6, n)
+            )
+        ]
+
+    def test_gaussian_data_yields_about_one_third_abnormal(self):
+        """With the 1-sigma cutoff on two near-independent Gaussian
+        features, ~45 % of records fall outside at least one band
+        (1 - 0.68^2); speed-only deviation alone is ~32 %.  The paper's
+        500 K eval subset is 35 % abnormal — same regime."""
+        records = self.build_gaussian_records()
+        labeler = SigmaCutoffLabeler().fit(records)
+        labels = [labeler.label(r) for r in records]
+        abnormal_fraction = labels.count(ABNORMAL) / len(labels)
+        assert 0.30 < abnormal_fraction < 0.55
+
+    def test_mean_record_is_normal(self):
+        records = self.build_gaussian_records()
+        labeler = SigmaCutoffLabeler().fit(records)
+        assert labeler.label(make_record(160.0, 0.0)) == NORMAL
+
+    def test_extreme_speed_is_abnormal(self):
+        records = self.build_gaussian_records()
+        labeler = SigmaCutoffLabeler().fit(records)
+        assert labeler.label(make_record(250.0, 0.0)) == ABNORMAL
+        assert labeler.label(make_record(60.0, 0.0)) == ABNORMAL
+
+    def test_extreme_accel_is_abnormal(self):
+        records = self.build_gaussian_records()
+        labeler = SigmaCutoffLabeler().fit(records)
+        assert labeler.label(make_record(160.0, accel=5.0)) == ABNORMAL
+
+    def test_bands_are_per_road_type(self):
+        motorway = self.build_gaussian_records(mu=160.0)
+        link = [
+            make_record(s.speed_kmh * 115.0 / 160.0, s.accel_ms2,
+                        road_type=RoadType.MOTORWAY_LINK)
+            for s in self.build_gaussian_records(mu=160.0, seed=1)
+        ]
+        labeler = SigmaCutoffLabeler().fit(motorway + link)
+        lo_m, hi_m = labeler.band(RoadType.MOTORWAY)
+        lo_l, hi_l = labeler.band(RoadType.MOTORWAY_LINK)
+        assert hi_l < hi_m
+        # 130 km/h: normal on the motorway, abnormal on the link.
+        assert labeler.label(make_record(150.0)) == NORMAL
+        assert (
+            labeler.label(make_record(150.0, road_type=RoadType.MOTORWAY_LINK))
+            == ABNORMAL
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SigmaCutoffLabeler().label(make_record(100.0))
+
+    def test_unknown_road_type_raises(self):
+        labeler = SigmaCutoffLabeler().fit(self.build_gaussian_records())
+        with pytest.raises(KeyError):
+            labeler.label(make_record(30.0, road_type=RoadType.RESIDENTIAL))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            SigmaCutoffLabeler().fit([])
+
+    def test_n_sigma_validation(self):
+        with pytest.raises(ValueError):
+            SigmaCutoffLabeler(n_sigma=0)
+
+    @given(st.floats(min_value=1.0, max_value=3.0))
+    @settings(max_examples=10, deadline=None)
+    def test_wider_band_labels_fewer_abnormal(self, n_sigma):
+        records = self.build_gaussian_records(n=500)
+        narrow = SigmaCutoffLabeler(n_sigma=1.0).fit(records)
+        wide = SigmaCutoffLabeler(n_sigma=n_sigma).fit(records)
+        narrow_abnormal = sum(
+            1 for r in records if narrow.label(r) == ABNORMAL
+        )
+        wide_abnormal = sum(1 for r in records if wide.label(r) == ABNORMAL)
+        assert wide_abnormal <= narrow_abnormal
+
+
+class TestPreprocessor:
+    def test_end_to_end(self):
+        network = CityNetworkBuilder(seed=1).build_corridor()
+        dataset = DatasetGenerator(
+            network,
+            GeneratorConfig(n_cars=30, trips_per_car=4, seed=3, erroneous_rate=0.02),
+        ).generate()
+        labeled = Preprocessor().run(dataset.records)
+        assert labeled
+        assert len(labeled) < len(dataset.records)  # filtering removed some
+        assert all(r.label in (NORMAL, ABNORMAL) for r in labeled)
+
+    def test_empty_input(self):
+        assert Preprocessor().run([]) == []
+
+
+class TestDeriveTelemetry:
+    def test_eq4_recovers_speed(self):
+        """A synthetic trip driven at constant speed should yield
+        Eq. 4 speeds near that speed after map matching."""
+        network = CityNetworkBuilder(seed=1).build_corridor()
+        dataset = DatasetGenerator(
+            network,
+            GeneratorConfig(
+                n_cars=3, trips_per_car=2, seed=5, gps_noise_m=2.0,
+                erroneous_rate=0.0,
+            ),
+        ).generate(with_trajectories=True)
+        trip = max(dataset.trips, key=lambda t: len(t.trajectory))
+        derived = derive_telemetry(trip, network)
+        assert derived
+        speeds = np.array([r.speed_kmh for r in derived])
+        # Generated speeds are motorway-scale; derived ones should be too.
+        assert 40.0 < np.median(speeds) < 250.0
+        assert all(r.car_id == trip.car_id for r in derived)
+
+    def test_short_trip_returns_empty(self):
+        network = CityNetworkBuilder(seed=1).build_corridor()
+        from repro.dataset.schema import Trip
+
+        trip = Trip(object_id=1, car_id=1, start_time=0.0, stop_time=0.0)
+        assert derive_telemetry(trip, network) == []
+
+    def test_road_mean_speeds(self):
+        records = [
+            make_record(100.0, road_id=1),
+            make_record(120.0, road_id=1),
+            make_record(50.0, road_id=2),
+        ]
+        means = road_mean_speeds(records)
+        assert means[1] == pytest.approx(110.0)
+        assert means[2] == pytest.approx(50.0)

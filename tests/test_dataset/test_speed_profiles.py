@@ -1,0 +1,70 @@
+"""Tests for the Fig. 2-style speed profiles."""
+
+import pytest
+
+from repro.dataset import SpeedProfileLibrary
+from repro.geo import RoadType
+
+
+class TestSpeedProfileLibrary:
+    def setup_method(self):
+        self.library = SpeedProfileLibrary()
+
+    def test_motorway_faster_than_link(self):
+        """Fig. 2: the motorway profile sits above the link profile."""
+        for hour in range(24):
+            motorway = self.library.profile(RoadType.MOTORWAY, hour, False)
+            link = self.library.profile(RoadType.MOTORWAY_LINK, hour, False)
+            assert motorway.mean_kmh > link.mean_kmh
+
+    def test_weekday_rush_hour_dip(self):
+        """Fig. 2: weekday speeds dip at the morning and evening rush."""
+        rush = self.library.profile(RoadType.MOTORWAY, 8, False)
+        night = self.library.profile(RoadType.MOTORWAY, 3, False)
+        midday = self.library.profile(RoadType.MOTORWAY, 12, False)
+        assert rush.mean_kmh < midday.mean_kmh < night.mean_kmh
+
+    def test_evening_rush_also_dips(self):
+        evening = self.library.profile(RoadType.MOTORWAY, 18, False)
+        midday = self.library.profile(RoadType.MOTORWAY, 12, False)
+        assert evening.mean_kmh < midday.mean_kmh
+
+    def test_weekend_flatter_than_weekday(self):
+        """Fig. 2: the weekend curve is flatter (no sharp rush dips)."""
+        weekday = self.library.hourly_means(RoadType.MOTORWAY, weekend=False)
+        weekend = self.library.hourly_means(RoadType.MOTORWAY, weekend=True)
+        weekday_range = max(weekday) - min(weekday)
+        weekend_range = max(weekend) - min(weekend)
+        assert weekend_range < weekday_range
+
+    def test_weekend_rush_hour_faster_than_weekday(self):
+        weekday = self.library.profile(RoadType.MOTORWAY, 8, False)
+        weekend = self.library.profile(RoadType.MOTORWAY, 8, True)
+        assert weekend.mean_kmh > weekday.mean_kmh
+
+    def test_base_means_follow_table3(self):
+        assert self.library.base_mean(RoadType.MOTORWAY) == 160.0
+        assert self.library.base_mean(RoadType.MOTORWAY_LINK) == 115.0
+
+    def test_zscore(self):
+        profile = self.library.profile(RoadType.MOTORWAY, 12, False)
+        assert profile.zscore(profile.mean_kmh) == 0.0
+        assert profile.zscore(profile.mean_kmh + profile.sigma_kmh) == pytest.approx(1.0)
+
+    def test_invalid_hour(self):
+        with pytest.raises(ValueError):
+            self.library.modulation(24, False)
+
+    def test_custom_base_means(self):
+        library = SpeedProfileLibrary({RoadType.MOTORWAY: 100.0})
+        assert library.base_mean(RoadType.MOTORWAY) == 100.0
+        # Other types keep their defaults.
+        assert library.base_mean(RoadType.MOTORWAY_LINK) == 115.0
+
+    def test_hourly_means_has_24_entries(self):
+        assert len(self.library.hourly_means(RoadType.PRIMARY, False)) == 24
+
+    def test_sigma_positive_everywhere(self):
+        for road_type in RoadType:
+            profile = self.library.profile(road_type, 8, False)
+            assert profile.sigma_kmh > 0

@@ -1,0 +1,103 @@
+"""Tests for the Fig. 9 coverage assessment."""
+
+import pytest
+
+from repro.deploy import InfrastructureKind, RoadsideInfrastructure, assess_coverage
+from repro.deploy.coverage import _covered_length
+from repro.geo import LatLon, RoadNetwork, RoadSegment, RoadType
+from repro.geo.coords import destination_point
+
+CENTER = LatLon(22.6, 114.2)
+
+
+def simple_network(lengths=(1000.0, 2000.0)):
+    network = RoadNetwork()
+    offset = 0.0
+    for index, length in enumerate(lengths, start=1):
+        origin = destination_point(CENTER, 90.0, offset)
+        offset += length + 2000.0
+        network.add_segment(
+            RoadSegment(
+                index,
+                RoadType.PRIMARY,
+                [origin, destination_point(origin, 0.0, length)],
+            )
+        )
+    return network
+
+
+class TestCoveredLength:
+    def test_single_unit_mid_road(self):
+        assert _covered_length(1000.0, [500.0], 100.0) == pytest.approx(200.0)
+
+    def test_unit_at_edge_clamped(self):
+        assert _covered_length(1000.0, [0.0], 100.0) == pytest.approx(100.0)
+
+    def test_overlapping_units_merge(self):
+        covered = _covered_length(1000.0, [400.0, 450.0], 100.0)
+        assert covered == pytest.approx(250.0)
+
+    def test_disjoint_units_sum(self):
+        covered = _covered_length(1000.0, [100.0, 800.0], 50.0)
+        assert covered == pytest.approx(200.0)
+
+    def test_full_coverage_caps_at_length(self):
+        covered = _covered_length(300.0, [150.0], 500.0)
+        assert covered == pytest.approx(300.0)
+
+    def test_no_units(self):
+        assert _covered_length(1000.0, [], 100.0) == 0.0
+
+
+class TestAssessCoverage:
+    def test_uncovered_roads_flagged(self):
+        network = simple_network()
+        infrastructure = RoadsideInfrastructure(
+            kind=InfrastructureKind.TRAFFIC_LIGHT,
+            positions=[(1, 500.0)],  # only road 1 has a unit
+        )
+        report = assess_coverage(network, [infrastructure], dsrc_range_m=300.0)
+        assert report.uncovered_road_ids == [2]
+        assert report.per_road_coverage[1] > 0.0
+        assert report.per_road_coverage[2] == 0.0
+
+    def test_multiple_infrastructures_combine(self):
+        network = simple_network()
+        lights = RoadsideInfrastructure(
+            kind=InfrastructureKind.TRAFFIC_LIGHT, positions=[(1, 500.0)]
+        )
+        poles = RoadsideInfrastructure(
+            kind=InfrastructureKind.LAMP_POLE, positions=[(2, 1000.0)]
+        )
+        report = assess_coverage(network, [lights, poles], dsrc_range_m=300.0)
+        assert report.uncovered_road_ids == []
+        assert report.covered_fraction > 0.0
+
+    def test_totals_consistent(self):
+        network = simple_network()
+        lights = RoadsideInfrastructure(
+            kind=InfrastructureKind.TRAFFIC_LIGHT,
+            positions=[(1, 500.0), (2, 500.0), (2, 1500.0)],
+        )
+        report = assess_coverage(network, [lights], dsrc_range_m=200.0)
+        assert report.total_length_m == pytest.approx(
+            network.total_length_m(), rel=0.01
+        )
+        assert 0.0 < report.covered_fraction < 1.0
+
+    def test_wider_range_more_coverage(self):
+        network = simple_network()
+        lights = RoadsideInfrastructure(
+            kind=InfrastructureKind.TRAFFIC_LIGHT, positions=[(1, 500.0)]
+        )
+        narrow = assess_coverage(network, [lights], dsrc_range_m=100.0)
+        wide = assess_coverage(network, [lights], dsrc_range_m=500.0)
+        assert wide.covered_fraction > narrow.covered_fraction
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assess_coverage(simple_network(), [], dsrc_range_m=0.0)
+
+    def test_format_summary(self):
+        report = assess_coverage(simple_network(), [], dsrc_range_m=300.0)
+        assert "coverage" in report.format_summary()

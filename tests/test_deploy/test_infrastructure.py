@@ -1,0 +1,106 @@
+"""Tests for synthetic roadside infrastructure (Table VI logic)."""
+
+import numpy as np
+import pytest
+
+from repro.deploy import (
+    InfrastructureKind,
+    RoadsideInfrastructure,
+    SpacingSpec,
+    SyntheticInfrastructure,
+    format_table_vi,
+)
+from repro.geo import CityNetworkBuilder, NetworkSpec
+
+
+@pytest.fixture(scope="module")
+def small_city():
+    return CityNetworkBuilder(seed=4).build_city(NetworkSpec(count_scale=0.05))
+
+
+class TestRoadsideInfrastructure:
+    def test_spacings_computed_per_road(self):
+        infrastructure = RoadsideInfrastructure(
+            kind=InfrastructureKind.LAMP_POLE,
+            positions=[(1, 0.0), (1, 50.0), (1, 120.0), (2, 10.0)],
+        )
+        assert sorted(infrastructure.spacings()) == [50.0, 70.0]
+
+    def test_on_road(self):
+        infrastructure = RoadsideInfrastructure(
+            kind=InfrastructureKind.LAMP_POLE,
+            positions=[(1, 30.0), (1, 10.0), (2, 5.0)],
+        )
+        assert infrastructure.on_road(1) == [10.0, 30.0]
+        assert infrastructure.on_road(3) == []
+
+    def test_statistics(self):
+        infrastructure = RoadsideInfrastructure(
+            kind=InfrastructureKind.TRAFFIC_LIGHT,
+            positions=[(1, 0.0), (1, 100.0), (1, 300.0)],
+        )
+        stats = infrastructure.spacing_statistics()
+        assert stats.count == 3
+        assert stats.avg_m == pytest.approx(150.0)
+        assert stats.max_m == 200.0
+
+    def test_statistics_with_no_gaps(self):
+        infrastructure = RoadsideInfrastructure(
+            kind=InfrastructureKind.TRAFFIC_LIGHT, positions=[(1, 0.0)]
+        )
+        stats = infrastructure.spacing_statistics()
+        assert stats.count == 1
+        assert stats.avg_m == 0
+
+
+class TestSyntheticInfrastructure:
+    def test_target_count_placed(self, small_city):
+        spec = SpacingSpec(count=100, mean_m=200.0, std_m=150.0, max_m=900.0)
+        placed = SyntheticInfrastructure(seed=1).generate(
+            small_city, InfrastructureKind.TRAFFIC_LIGHT, spec=spec
+        )
+        assert len(placed.positions) == 100
+
+    def test_spacing_calibration(self, small_city):
+        spec = SpacingSpec(count=400, mean_m=200.0, std_m=150.0, max_m=900.0)
+        placed = SyntheticInfrastructure(seed=2).generate(
+            small_city, InfrastructureKind.TRAFFIC_LIGHT, spec=spec
+        )
+        stats = placed.spacing_statistics()
+        assert stats.avg_m == pytest.approx(200.0, rel=0.15)
+        assert stats.max_m <= 900.0
+
+    def test_positions_within_roads(self, small_city):
+        spec = SpacingSpec(count=50, mean_m=100.0, std_m=50.0, max_m=400.0)
+        placed = SyntheticInfrastructure(seed=3).generate(
+            small_city, InfrastructureKind.LAMP_POLE, spec=spec
+        )
+        for road_id, offset in placed.positions:
+            assert 0.0 <= offset <= small_city.segment(road_id).length_m
+
+    def test_deterministic(self, small_city):
+        spec = SpacingSpec(count=30, mean_m=100.0, std_m=50.0, max_m=400.0)
+        a = SyntheticInfrastructure(seed=5).generate(
+            small_city, InfrastructureKind.LAMP_POLE, spec=spec
+        )
+        b = SyntheticInfrastructure(seed=5).generate(
+            small_city, InfrastructureKind.LAMP_POLE, spec=spec
+        )
+        assert a.positions == b.positions
+
+    def test_empty_network_rejected(self):
+        from repro.geo import RoadNetwork
+
+        with pytest.raises(ValueError):
+            SyntheticInfrastructure().generate(
+                RoadNetwork(), InfrastructureKind.LAMP_POLE
+            )
+
+    def test_format_table(self, small_city):
+        spec = SpacingSpec(count=20, mean_m=100.0, std_m=50.0, max_m=400.0)
+        placed = SyntheticInfrastructure(seed=6).generate(
+            small_city, InfrastructureKind.TRAFFIC_LIGHT, spec=spec
+        )
+        text = format_table_vi([placed.spacing_statistics()])
+        assert "traffic_light" in text
+        assert "AVG" in text

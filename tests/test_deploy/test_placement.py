@@ -1,0 +1,104 @@
+"""Tests for RSU placement planning (Table V logic)."""
+
+import pytest
+
+from repro.deploy import RsuPlacementPlanner
+from repro.geo import LatLon, RoadNetwork, RoadSegment, RoadType
+from repro.geo.coords import destination_point
+
+CENTER = LatLon(22.6, 114.2)
+
+
+def build_network(lengths_by_type):
+    network = RoadNetwork()
+    segment_id = 1
+    offset = 0.0
+    for road_type, lengths in lengths_by_type.items():
+        for length in lengths:
+            # Spread origins out so endpoints never snap together.
+            origin = destination_point(CENTER, 90.0, offset)
+            offset += length + 1000.0
+            network.add_segment(
+                RoadSegment(
+                    segment_id,
+                    road_type,
+                    [origin, destination_point(origin, 0.0, length)],
+                )
+            )
+            segment_id += 1
+    return network
+
+
+class TestRsuPlacementPlanner:
+    def test_one_rsu_per_km_rule(self):
+        network = build_network({RoadType.MOTORWAY: [5000.0, 3000.0]})
+        plan = RsuPlacementPlanner().plan(
+            network, {RoadType.MOTORWAY: 0.5}
+        )
+        row = plan.row(RoadType.MOTORWAY)
+        # Total 8 km -> 8 RSUs (within geodesic rounding).
+        assert row.rsus_required == pytest.approx(8, abs=1)
+        assert row.n_roads == 2
+
+    def test_minimum_one_rsu_per_class(self):
+        network = build_network({RoadType.RESIDENTIAL: [100.0]})
+        plan = RsuPlacementPlanner().plan(
+            network, {RoadType.RESIDENTIAL: 0.01}
+        )
+        assert plan.row(RoadType.RESIDENTIAL).rsus_required == 1
+
+    def test_density_filter_skips_unused_types(self):
+        network = build_network(
+            {RoadType.MOTORWAY: [2000.0], RoadType.RESIDENTIAL: [2000.0]}
+        )
+        planner = RsuPlacementPlanner(min_traffic_density=0.05)
+        plan = planner.plan(
+            network,
+            {RoadType.MOTORWAY: 0.5, RoadType.RESIDENTIAL: 0.01},
+        )
+        assert len(plan.rows) == 1
+        assert plan.rows[0].road_type is RoadType.MOTORWAY
+
+    def test_types_absent_from_network_skipped(self):
+        network = build_network({RoadType.MOTORWAY: [2000.0]})
+        plan = RsuPlacementPlanner().plan(
+            network, {RoadType.MOTORWAY: 0.5, RoadType.TRUNK: 0.5}
+        )
+        assert len(plan.rows) == 1
+
+    def test_totals(self):
+        network = build_network(
+            {RoadType.MOTORWAY: [3000.0], RoadType.TRUNK: [2000.0]}
+        )
+        plan = RsuPlacementPlanner(vehicles_per_rsu=256).plan(
+            network, {RoadType.MOTORWAY: 0.5, RoadType.TRUNK: 0.5}
+        )
+        assert plan.total_rsus == sum(r.rsus_required for r in plan.rows)
+        assert plan.total_vehicle_capacity == plan.total_rsus * 256
+
+    def test_row_lookup_missing_raises(self):
+        network = build_network({RoadType.MOTORWAY: [2000.0]})
+        plan = RsuPlacementPlanner().plan(network, {RoadType.MOTORWAY: 0.5})
+        with pytest.raises(KeyError):
+            plan.row(RoadType.TRUNK)
+
+    def test_rsus_for_road_ceils(self):
+        planner = RsuPlacementPlanner(rsu_spacing_m=1000.0)
+        assert planner.rsus_for_road(500.0) == 1
+        assert planner.rsus_for_road(1000.0) == 1
+        assert planner.rsus_for_road(1001.0) == 2
+        with pytest.raises(ValueError):
+            planner.rsus_for_road(0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RsuPlacementPlanner(rsu_spacing_m=0.0)
+        with pytest.raises(ValueError):
+            RsuPlacementPlanner(vehicles_per_rsu=0)
+
+    def test_format_table(self):
+        network = build_network({RoadType.MOTORWAY: [2000.0]})
+        plan = RsuPlacementPlanner().plan(network, {RoadType.MOTORWAY: 0.077})
+        text = plan.format_table()
+        assert "motorway" in text
+        assert "TOTAL" in text

@@ -1,0 +1,92 @@
+"""Tests for the ablation harnesses (plumbing-level, small scale)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationPoint,
+    ablate_batch_interval,
+    ablate_collaboration_link,
+    ablate_detector_complexity,
+    ablate_history_weight,
+    ablate_poll_interval,
+    format_ablation,
+)
+from repro.experiments.datasets import corridor_dataset
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return corridor_dataset(n_cars=100, trips_per_car=5, seed=4)
+
+
+class TestAblationPlumbing:
+    def test_history_weight_sweep_shape(self, small_dataset):
+        points = ablate_history_weight(small_dataset, weights=(0.0, 0.5))
+        assert len(points) == 2
+        assert all(0.0 <= p.value <= 1.0 for p in points)
+
+    def test_detector_complexity_names(self, small_dataset):
+        points = ablate_detector_complexity(small_dataset)
+        names = {p.setting for p in points}
+        assert names == {"naive_bayes", "logistic", "random_forest"}
+
+    def test_collaboration_link_ordering(self):
+        points = ablate_collaboration_link(n_summaries=50)
+        values = {p.setting: p.value for p in points}
+        assert values["wired"] < values["5g"] < values["lte"]
+
+    def test_batch_interval_monotonic(self):
+        points = ablate_batch_interval(
+            intervals_s=(0.05, 0.2), n_vehicles=8, duration_s=2.0
+        )
+        assert points[0].value < points[1].value
+
+    def test_poll_interval_monotonic(self):
+        points = ablate_poll_interval(
+            intervals_s=(0.01, 0.05), n_vehicles=8, duration_s=2.0
+        )
+        assert points[0].value < points[1].value
+
+    def test_format_ablation(self):
+        text = format_ablation(
+            [AblationPoint("setting=x", 1.2345, "metric")]
+        )
+        assert "setting=x" in text
+        assert "1.2345" in text
+
+    def test_invalid_history_weight_rejected(self):
+        from repro.core.collaborative import CollaborativeDetector
+        from repro.geo import RoadType
+
+        with pytest.raises(ValueError):
+            CollaborativeDetector(RoadType.MOTORWAY_LINK, history_weight=1.5)
+
+    def test_packet_loss_points(self):
+        from repro.experiments.ablations import ablate_packet_loss
+
+        points = ablate_packet_loss(
+            loss_levels=(0.0, 0.3), n_vehicles=8, duration_s=2.0
+        )
+        ratios = {p.setting: p.value for p in points}
+        assert ratios["loss=0%"] > ratios["loss=30%"]
+        assert 0.0 <= ratios["loss=30%"] <= 1.0
+
+    def test_warning_threshold_points(self):
+        from repro.experiments.ablations import ablate_warning_threshold
+
+        points = ablate_warning_threshold(
+            thresholds=(1, 2), n_vehicles=8, duration_s=3.0
+        )
+        warnings = {
+            p.setting: p.value for p in points if p.metric == "warnings"
+        }
+        assert warnings["threshold=1"] >= warnings["threshold=2"]
+
+    def test_labeling_granularity_structure(self):
+        from repro.experiments.ablations import ablate_labeling_granularity
+
+        results = ablate_labeling_granularity(n_cars=80)
+        assert set(results) == {"type", "type_hour"}
+        for points in results.values():
+            assert len(points) == 3
+            assert all(0.0 <= p.value <= 1.0 for p in points)

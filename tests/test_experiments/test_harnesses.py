@@ -1,0 +1,144 @@
+"""Tests for the experiment harnesses (small-scale runs).
+
+The benchmarks assert the paper's claims at full scale; these tests
+check the harness plumbing itself — result shapes, formatting,
+determinism — at test-suite speed.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dataset.schema import AnomalyKind
+from repro.experiments import (
+    corridor_dataset,
+    eq5_access_times,
+    fig2_speed_profiles,
+    fig7_table4_comparison,
+    fig8_mesoscopic,
+    table3_statistics,
+)
+from repro.experiments.deployment import (
+    build_city,
+    city_scale_capacity,
+    fig9_coverage,
+    table5_placement,
+    table6_infrastructure,
+)
+from repro.experiments.models import MODEL_NAMES
+from repro.geo import RoadType
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return corridor_dataset(n_cars=120, trips_per_car=6, seed=2)
+
+
+@pytest.fixture(scope="module")
+def small_city():
+    return build_city(seed=5, count_scale=0.05)
+
+
+class TestFig2:
+    def test_library_series(self):
+        result = fig2_speed_profiles()
+        assert len(result.series) == 4
+        for series in result.series:
+            assert len(series.hourly_mean_kmh) == 24
+            assert all(v > 0 for v in series.hourly_mean_kmh)
+
+    def test_empirical_series(self, small_dataset):
+        result = fig2_speed_profiles(small_dataset.records)
+        motorway = result.get(RoadType.MOTORWAY, weekend=False)
+        observed = [v for v in motorway.hourly_mean_kmh if not math.isnan(v)]
+        assert observed
+        assert 80 < np.mean(observed) < 200
+
+    def test_get_missing_raises(self):
+        result = fig2_speed_profiles()
+        with pytest.raises(KeyError):
+            result.get(RoadType.RESIDENTIAL, weekend=False)
+
+    def test_format_table(self):
+        text = fig2_speed_profiles().format_table()
+        assert len(text.splitlines()) == 25
+
+
+class TestTable3:
+    def test_statistics(self, small_dataset):
+        stats = table3_statistics(small_dataset)
+        assert stats.overall.n_trajectories == len(small_dataset.records)
+
+
+class TestFig7Table4:
+    def test_result_structure(self, small_dataset):
+        result = fig7_table4_comparison(small_dataset)
+        assert set(result.reports) == set(MODEL_NAMES)
+        assert set(result.accidents) == set(MODEL_NAMES)
+        assert result.n_eval > 0
+        assert 0.0 < result.abnormal_fraction < 1.0
+
+    def test_formatting(self, small_dataset):
+        result = fig7_table4_comparison(small_dataset)
+        assert "cad3" in result.format_fig7()
+        assert "E(Lambda)" in result.format_table4()
+
+    def test_deterministic(self, small_dataset):
+        a = fig7_table4_comparison(small_dataset)
+        b = fig7_table4_comparison(small_dataset)
+        assert a.reports["cad3"].f1 == b.reports["cad3"].f1
+
+
+class TestFig8:
+    def test_result_structure(self, small_dataset):
+        result = fig8_mesoscopic(small_dataset, anomaly=AnomalyKind.SLOWING)
+        assert result.points
+        assert set(result.aggregate) == set(MODEL_NAMES)
+        for stats in result.aggregate.values():
+            assert 0.0 <= stats.mean_accuracy <= 1.0
+            assert stats.n_trips > 0
+        assert result.anomaly_kind == "slowing"
+
+    def test_timeline_format(self, small_dataset):
+        result = fig8_mesoscopic(small_dataset)
+        text = result.format_timeline()
+        assert "truth" in text
+        assert "cad3" in text
+
+    def test_speeding_episodes_also_work(self, small_dataset):
+        result = fig8_mesoscopic(small_dataset, anomaly=AnomalyKind.SPEEDING)
+        assert result.aggregate["cad3"].n_trips > 0
+
+
+class TestDeploymentHarnesses:
+    def test_table5_scaled_city(self, small_city):
+        plan = table5_placement(network=small_city)
+        assert plan.total_rsus > 0
+        assert len(plan.rows) == 10
+
+    def test_city_scale_capacity(self):
+        assert city_scale_capacity(256) == 51_129 * 256
+
+    def test_table6_scaled(self, small_city):
+        rows, placements = table6_infrastructure(
+            network=small_city, count_scale=0.05
+        )
+        assert len(rows) == 2
+        assert all(row.count > 0 for row in rows)
+        assert len(placements) == 2
+
+    def test_fig9_scaled(self, small_city):
+        report = fig9_coverage(network=small_city, infrastructure_scale=0.2)
+        assert 0.0 <= report.covered_fraction <= 1.0
+
+
+class TestEq5:
+    def test_grid_shape(self):
+        rows = eq5_access_times(vehicle_counts=(8, 16))
+        assert len(rows) == 4  # 2 counts x 2 schemes
+
+    def test_format(self):
+        rows = eq5_access_times(vehicle_counts=(8,))
+        text = "\n".join(row.format_row() for row in rows)
+        assert "MCS" in text

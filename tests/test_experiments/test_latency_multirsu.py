@@ -1,0 +1,76 @@
+"""Unit tests for the latency and multi-RSU harnesses (small scale)."""
+
+import pytest
+
+from repro.core.system import default_training_dataset
+from repro.experiments.latency import Fig6aRow, fig6a_latency_sweep, format_fig6a
+from repro.experiments.multirsu import fig6bd_corridor
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return default_training_dataset(seed=11, n_cars=40)
+
+
+class TestFig6aSweep:
+    @pytest.fixture(scope="class")
+    def rows(self, tiny_dataset):
+        return fig6a_latency_sweep((8, 16), duration_s=2.0, dataset=tiny_dataset)
+
+    def test_one_row_per_count(self, rows):
+        assert [row.n_vehicles for row in rows] == [8, 16]
+
+    def test_components_positive(self, rows):
+        for row in rows:
+            assert row.tx_ms > 0
+            assert row.processing_ms > 0
+            assert row.total_ms > 0
+            assert row.queuing_dissemination_ms >= 0
+            assert row.per_vehicle_bandwidth_kbps > 0
+
+    def test_components_sum_to_total(self, rows):
+        for row in rows:
+            reconstructed = (
+                row.tx_ms + row.processing_ms + row.queuing_dissemination_ms
+            )
+            assert reconstructed == pytest.approx(row.total_ms, abs=1e-6)
+
+    def test_format(self, rows):
+        text = format_fig6a(rows)
+        assert "total=" in text
+        assert len(text.splitlines()) == 2
+
+    def test_row_format(self):
+        row = Fig6aRow(8, 0.3, 7.5, 30.0, 37.8, 10.0, 15.0, 0.15)
+        assert "8" in row.format_row()
+
+
+class TestCorridorHarness:
+    @pytest.fixture(scope="class")
+    def corridor(self, tiny_dataset):
+        return fig6bd_corridor(
+            n_vehicles_per_rsu=8,
+            duration_s=2.0,
+            handover_fraction=0.25,
+            motorways=2,
+            dataset=tiny_dataset,
+        )
+
+    def test_row_per_rsu(self, corridor):
+        assert len(corridor.rows) == 3  # 2 motorways + link
+
+    def test_link_row_accessor(self, corridor):
+        assert corridor.link_row.name == "rsu-mw-link"
+        assert len(corridor.motorway_rows) == 2
+
+    def test_missing_row_raises(self, corridor):
+        with pytest.raises(KeyError):
+            corridor.row("rsu-nowhere")
+
+    def test_summary_flow_consistent(self, corridor):
+        sent = sum(r.summaries_sent for r in corridor.motorway_rows)
+        assert corridor.link_row.summaries_received == sent == 2 * 2
+
+    def test_format_table(self, corridor):
+        text = corridor.format_table()
+        assert "rsu-mw-link" in text

@@ -1,0 +1,65 @@
+"""Tests for terminal rendering helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments.reporting import horizontal_bars, series_with_axis, sparkline
+
+
+class TestSparkline:
+    def test_monotonic_series_monotonic_blocks(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_nan_renders_space(self):
+        line = sparkline([1.0, math.nan, 8.0])
+        assert line[1] == " "
+        assert line[0] != " " and line[2] != " "
+
+    def test_all_nan(self):
+        assert sparkline([math.nan, math.nan]) == "  "
+
+    def test_pinned_scale(self):
+        line = sparkline([5.0], minimum=0.0, maximum=10.0)
+        assert line in "▄▅"
+
+    def test_length_matches_input(self):
+        assert len(sparkline(list(range(17)))) == 17
+
+
+class TestHorizontalBars:
+    def test_proportions(self):
+        text = horizontal_bars(["a", "b"], [10.0, 5.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        text = horizontal_bars(["short", "longer-label"], [1.0, 2.0])
+        lines = text.splitlines()
+        assert lines[0].index("│") == lines[1].index("│")
+
+    def test_unit_appended(self):
+        text = horizontal_bars(["x"], [3.5], unit="ms")
+        assert "3.5ms" in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            horizontal_bars(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert horizontal_bars([], []) == ""
+
+
+class TestSeriesWithAxis:
+    def test_includes_range(self):
+        text = series_with_axis([1.0, 2.0, 3.0], label="speed", unit="km/h")
+        assert "speed" in text
+        assert "[1..3km/h]" in text
+
+    def test_no_data(self):
+        assert "no data" in series_with_axis([math.nan], label="x")

@@ -1,0 +1,98 @@
+"""Tests for the peak-hour scale analysis."""
+
+import pytest
+
+from repro.deploy.placement import RsuPlacementPlanner
+from repro.experiments.scale import (
+    max_supported_vehicles,
+    peak_hour_feasibility,
+)
+from repro.geo import LatLon, RoadNetwork, RoadSegment, RoadType
+from repro.geo.coords import destination_point
+
+CENTER = LatLon(22.6, 114.2)
+
+
+@pytest.fixture(scope="module")
+def two_class_plan():
+    network = RoadNetwork()
+    origin = CENTER
+    # 10 km of motorway, 1 km of link.
+    network.add_segment(
+        RoadSegment(1, RoadType.MOTORWAY,
+                    [origin, destination_point(origin, 0.0, 10_000.0)])
+    )
+    far = destination_point(origin, 90.0, 30_000.0)
+    network.add_segment(
+        RoadSegment(2, RoadType.MOTORWAY_LINK,
+                    [far, destination_point(far, 0.0, 1_000.0)])
+    )
+    density = {RoadType.MOTORWAY: 0.5, RoadType.MOTORWAY_LINK: 0.5}
+    return RsuPlacementPlanner().plan(network, density), network, density
+
+
+class TestPeakHourFeasibility:
+    def test_light_load_is_feasible(self, two_class_plan):
+        plan, _, _ = two_class_plan
+        assessment = peak_hour_feasibility(100, plan=plan)
+        assert assessment.feasible
+        assert assessment.total_vehicles == 100
+
+    def test_binding_class_is_the_link(self, two_class_plan):
+        """Half the traffic on 1/10 the RSUs: the link saturates first."""
+        plan, _, _ = two_class_plan
+        heavy = peak_hour_feasibility(3000, plan=plan)
+        link_row = next(
+            row for row in heavy.rows
+            if row.road_type is RoadType.MOTORWAY_LINK
+        )
+        motorway_row = next(
+            row for row in heavy.rows
+            if row.road_type is RoadType.MOTORWAY
+        )
+        assert link_row.vehicles_per_rsu > motorway_row.vehicles_per_rsu
+        assert not link_row.within_capacity
+
+    def test_max_supported_matches_feasibility_edge(self, two_class_plan):
+        plan, _, _ = two_class_plan
+        limit = max_supported_vehicles(plan=plan)
+        assert peak_hour_feasibility(limit, plan=plan).feasible
+        assert not peak_hour_feasibility(
+            int(limit * 1.1) + 10, plan=plan
+        ).feasible
+
+    def test_format_table(self, two_class_plan):
+        plan, _, _ = two_class_plan
+        text = peak_hour_feasibility(500, plan=plan).format_table()
+        assert "motorway" in text
+
+
+class TestPlanForDemand:
+    def test_meets_demand_by_construction(self, two_class_plan):
+        _, network, density = two_class_plan
+        planner = RsuPlacementPlanner()
+        demand_plan = planner.plan_for_demand(network, density, 5000)
+        assert peak_hour_feasibility(5000, plan=demand_plan).feasible
+
+    def test_never_below_coverage_plan(self, two_class_plan):
+        plan, network, density = two_class_plan
+        demand_plan = RsuPlacementPlanner().plan_for_demand(
+            network, density, 10
+        )
+        for row in plan.rows:
+            assert (
+                demand_plan.row(row.road_type).rsus_required
+                >= row.rsus_required
+            )
+
+    def test_zero_demand_equals_coverage(self, two_class_plan):
+        plan, network, density = two_class_plan
+        demand_plan = RsuPlacementPlanner().plan_for_demand(
+            network, density, 0
+        )
+        assert demand_plan.total_rsus == plan.total_rsus
+
+    def test_negative_demand_rejected(self, two_class_plan):
+        _, network, density = two_class_plan
+        with pytest.raises(ValueError):
+            RsuPlacementPlanner().plan_for_demand(network, density, -1)

@@ -1,0 +1,102 @@
+"""Tests for great-circle geometry."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo import bearing_deg, destination_point, haversine_m, path_length_m
+from repro.geo.coords import LatLon
+
+lat_strategy = st.floats(min_value=-85.0, max_value=85.0)
+lon_strategy = st.floats(min_value=-179.0, max_value=179.0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(22.5, 114.0, 22.5, 114.0) == 0.0
+
+    def test_one_degree_latitude_is_about_111km(self):
+        distance = haversine_m(22.0, 114.0, 23.0, 114.0)
+        assert distance == pytest.approx(111_195, rel=0.01)
+
+    def test_known_city_pair(self):
+        # Shenzhen to Hong Kong centre, roughly 30 km.
+        distance = haversine_m(22.543, 114.057, 22.319, 114.169)
+        assert 25_000 < distance < 35_000
+
+    @given(lat_strategy, lon_strategy, lat_strategy, lon_strategy)
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        forward = haversine_m(lat1, lon1, lat2, lon2)
+        backward = haversine_m(lat2, lon2, lat1, lon1)
+        assert forward == pytest.approx(backward, rel=1e-9, abs=1e-6)
+
+    @given(lat_strategy, lon_strategy, lat_strategy, lon_strategy)
+    def test_non_negative(self, lat1, lon1, lat2, lon2):
+        assert haversine_m(lat1, lon1, lat2, lon2) >= 0.0
+
+    @given(lat_strategy, lon_strategy)
+    def test_identity_is_zero(self, lat, lon):
+        assert haversine_m(lat, lon, lat, lon) == 0.0
+
+
+class TestBearing:
+    def test_due_north(self):
+        assert bearing_deg(22.0, 114.0, 23.0, 114.0) == pytest.approx(0.0, abs=0.01)
+
+    def test_due_east(self):
+        assert bearing_deg(0.0, 114.0, 0.0, 115.0) == pytest.approx(90.0, abs=0.01)
+
+    @given(lat_strategy, lon_strategy, lat_strategy, lon_strategy)
+    def test_range(self, lat1, lon1, lat2, lon2):
+        bearing = bearing_deg(lat1, lon1, lat2, lon2)
+        assert 0.0 <= bearing < 360.0
+
+
+class TestDestinationPoint:
+    @given(
+        lat_strategy,
+        lon_strategy,
+        st.floats(min_value=0.0, max_value=359.9),
+        st.floats(min_value=1.0, max_value=50_000.0),
+    )
+    def test_round_trip_distance(self, lat, lon, bearing, distance):
+        origin = LatLon(lat, lon)
+        target = destination_point(origin, bearing, distance)
+        measured = haversine_m(origin.lat, origin.lon, target.lat, target.lon)
+        assert measured == pytest.approx(distance, rel=1e-3)
+
+    def test_zero_distance_is_same_point(self):
+        origin = LatLon(22.5, 114.0)
+        target = destination_point(origin, 45.0, 0.0)
+        assert target.lat == pytest.approx(origin.lat)
+        assert target.lon == pytest.approx(origin.lon)
+
+
+class TestPathLength:
+    def test_empty_path(self):
+        assert path_length_m([]) == 0.0
+
+    def test_single_point(self):
+        assert path_length_m([(22.5, 114.0)]) == 0.0
+
+    def test_two_legs_sum(self):
+        a, b, c = (22.5, 114.0), (22.6, 114.0), (22.6, 114.1)
+        total = path_length_m([a, b, c])
+        expected = haversine_m(*a, *b) + haversine_m(*b, *c)
+        assert total == pytest.approx(expected)
+
+
+class TestLatLonValidation:
+    def test_valid(self):
+        point = LatLon(22.5, 114.0)
+        assert point.as_tuple() == (22.5, 114.0)
+
+    def test_bad_latitude(self):
+        with pytest.raises(ValueError):
+            LatLon(91.0, 0.0)
+
+    def test_bad_longitude(self):
+        with pytest.raises(ValueError):
+            LatLon(0.0, 181.0)

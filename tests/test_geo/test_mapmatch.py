@@ -1,0 +1,114 @@
+"""Tests for HMM map matching."""
+
+import numpy as np
+import pytest
+
+from repro.geo import HmmMapMatcher, LatLon, RoadNetwork, RoadSegment, RoadType
+from repro.geo.coords import destination_point
+
+CENTER = LatLon(22.6, 114.2)
+
+
+def build_junction_network():
+    """Motorway (id 1) flowing into a link (id 2) at CENTER."""
+    network = RoadNetwork()
+    motorway_start = destination_point(CENTER, 270.0, 3000.0)
+    network.add_segment(
+        RoadSegment(1, RoadType.MOTORWAY, [motorway_start, CENTER])
+    )
+    link_end = destination_point(CENTER, 45.0, 600.0)
+    network.add_segment(
+        RoadSegment(2, RoadType.MOTORWAY_LINK, [CENTER, link_end])
+    )
+    # A parallel motorway 500 m north: a decoy candidate.
+    decoy_start = destination_point(motorway_start, 0.0, 500.0)
+    decoy_end = destination_point(CENTER, 0.0, 500.0)
+    network.add_segment(
+        RoadSegment(3, RoadType.MOTORWAY, [decoy_start, decoy_end])
+    )
+    return network
+
+
+def noisy_trace(segment, offsets_m, noise_m, seed=0):
+    rng = np.random.default_rng(seed)
+    fixes = []
+    for offset in offsets_m:
+        point = segment.point_at(offset)
+        fixes.append(
+            LatLon(
+                point.lat + rng.normal(0, noise_m * 1e-5),
+                point.lon + rng.normal(0, noise_m * 1e-5),
+            )
+        )
+    return fixes
+
+
+class TestHmmMapMatcher:
+    def test_clean_trace_matches_own_segment(self):
+        network = build_junction_network()
+        segment = network.segment(1)
+        fixes = [segment.point_at(o) for o in (100, 500, 1000, 1500, 2000)]
+        result = HmmMapMatcher(network).match(fixes)
+        assert result.segment_ids == [1, 1, 1, 1, 1]
+        assert result.matched_fraction == 1.0
+
+    def test_noisy_trace_still_matches(self):
+        network = build_junction_network()
+        segment = network.segment(1)
+        fixes = noisy_trace(segment, range(100, 2100, 200), noise_m=8.0)
+        result = HmmMapMatcher(network).match(fixes)
+        matched = [s for s in result.segment_ids if s is not None]
+        assert matched.count(1) >= len(matched) * 0.8
+
+    def test_transition_across_junction(self):
+        network = build_junction_network()
+        motorway = network.segment(1)
+        link = network.segment(2)
+        fixes = [motorway.point_at(o) for o in (2000, 2400, 2800)] + [
+            link.point_at(o) for o in (100, 300, 500)
+        ]
+        result = HmmMapMatcher(network).match(fixes)
+        assert result.segment_ids[:2] == [1, 1]
+        assert result.segment_ids[-2:] == [2, 2]
+
+    def test_offroad_fixes_left_unmatched(self):
+        network = build_junction_network()
+        nowhere = destination_point(CENTER, 180.0, 20_000.0)
+        result = HmmMapMatcher(network).match([nowhere, nowhere])
+        assert result.segment_ids == [None, None]
+        assert result.matched_fraction == 0.0
+
+    def test_chain_restarts_after_gap(self):
+        network = build_junction_network()
+        segment = network.segment(1)
+        nowhere = destination_point(CENTER, 180.0, 20_000.0)
+        fixes = [segment.point_at(500), nowhere, segment.point_at(700)]
+        result = HmmMapMatcher(network).match(fixes)
+        assert result.segment_ids[0] == 1
+        assert result.segment_ids[1] is None
+        assert result.segment_ids[2] == 1
+
+    def test_empty_trace(self):
+        network = build_junction_network()
+        result = HmmMapMatcher(network).match([])
+        assert result.points == []
+        assert result.matched_fraction == 0.0
+
+    def test_parameter_validation(self):
+        network = build_junction_network()
+        with pytest.raises(ValueError):
+            HmmMapMatcher(network, sigma_z_m=0.0)
+        with pytest.raises(ValueError):
+            HmmMapMatcher(network, beta_m=-1.0)
+
+    def test_prefers_adjacent_over_decoy(self):
+        """After the junction the trace should hop to the adjacent
+        link, not teleport to the non-adjacent decoy road."""
+        network = build_junction_network()
+        motorway = network.segment(1)
+        link = network.segment(2)
+        fixes = [motorway.point_at(2900)] + [
+            link.point_at(o) for o in (50, 150, 250)
+        ]
+        result = HmmMapMatcher(network).match(fixes)
+        assert 3 not in result.segment_ids

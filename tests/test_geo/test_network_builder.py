@@ -1,0 +1,78 @@
+"""Tests for synthetic city / corridor generation."""
+
+import numpy as np
+import pytest
+
+from repro.geo import CityNetworkBuilder, NetworkSpec, RoadType
+from repro.geo.network_builder import TABLE_V_SPECS
+
+
+class TestCorridor:
+    def test_default_topology(self):
+        network = CityNetworkBuilder(seed=1).build_corridor()
+        assert len(network) == 5
+        link = network.segment(1)
+        assert link.road_type is RoadType.MOTORWAY_LINK
+        # Every motorway is adjacent to the link (Fig. 1 interchange).
+        assert network.neighbors(1) == [2, 3, 4, 5]
+
+    def test_motorway_count_configurable(self):
+        network = CityNetworkBuilder(seed=1).build_corridor(motorways=2)
+        assert len(network.by_road_type(RoadType.MOTORWAY)) == 2
+
+    def test_segment_lengths(self):
+        network = CityNetworkBuilder(seed=1).build_corridor(
+            motorway_length_m=2000.0, link_length_m=400.0
+        )
+        assert network.segment(1).length_m == pytest.approx(400.0, rel=0.01)
+        assert network.segment(2).length_m == pytest.approx(2000.0, rel=0.01)
+
+    def test_zero_motorways_rejected(self):
+        with pytest.raises(ValueError):
+            CityNetworkBuilder(seed=1).build_corridor(motorways=0)
+
+    def test_deterministic(self):
+        a = CityNetworkBuilder(seed=5).build_corridor()
+        b = CityNetworkBuilder(seed=5).build_corridor()
+        assert [s.length_m for s in a.segments()] == [
+            s.length_m for s in b.segments()
+        ]
+
+
+class TestCity:
+    def test_scaled_counts(self):
+        spec = NetworkSpec(count_scale=0.02)
+        network = CityNetworkBuilder(seed=2).build_city(spec)
+        assert len(network) == spec.total_roads()
+        motorways = network.by_road_type(RoadType.MOTORWAY)
+        assert len(motorways) == spec.scaled_count(RoadType.MOTORWAY)
+
+    def test_length_distribution_calibration(self):
+        """Mean length per class tracks Table V at full scale."""
+        spec = NetworkSpec(count_scale=1.0)
+        network = CityNetworkBuilder(seed=3).build_city(spec)
+        for road_type in (RoadType.PRIMARY, RoadType.SECONDARY, RoadType.TERTIARY):
+            lengths = np.array(
+                [seg.length_m for seg in network.by_road_type(road_type)]
+            )
+            target = TABLE_V_SPECS[road_type].mean_length_m
+            # Lognormal with high dispersion: allow 30 % sampling error.
+            assert abs(lengths.mean() - target) / target < 0.30
+
+    def test_inside_bounding_box(self):
+        spec = NetworkSpec(count_scale=0.01)
+        network = CityNetworkBuilder(seed=4).build_city(spec)
+        for segment in network.segments():
+            start = segment.start
+            assert spec.bbox.south - 0.5 <= start.lat <= spec.bbox.north + 0.5
+            assert spec.bbox.west - 0.5 <= start.lon <= spec.bbox.east + 0.5
+
+    def test_minimum_length_enforced(self):
+        spec = NetworkSpec(count_scale=0.05)
+        network = CityNetworkBuilder(seed=5).build_city(spec)
+        for segment in network.segments():
+            assert segment.length_m >= CityNetworkBuilder.MIN_ROAD_LENGTH_M * 0.9
+
+    def test_traffic_density_sums_to_about_one(self):
+        total = sum(spec.traffic_density for spec in TABLE_V_SPECS.values())
+        assert total == pytest.approx(1.0, abs=0.01)

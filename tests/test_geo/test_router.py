@@ -1,0 +1,115 @@
+"""Tests for the road-graph router and the grid city."""
+
+import pytest
+
+from repro.geo import CityNetworkBuilder, RoadType, RouteNotFound, Router
+from repro.geo.coords import destination_point
+from repro.geo.roadnet import RoadNetwork, RoadSegment
+from repro.geo.coords import LatLon
+
+CENTER = LatLon(22.6, 114.2)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return CityNetworkBuilder(seed=1).build_grid(rows=4, cols=4)
+
+
+class TestGridCity:
+    def test_segment_count(self, grid):
+        # 4x4 grid: 4 rows x 3 EW + 4 cols x 3 NS = 24 segments.
+        assert len(grid) == 24
+
+    def test_fully_connected(self, grid):
+        router = Router(grid)
+        assert router.reachable_from(1) == grid.segment_ids()
+
+    def test_road_types(self, grid):
+        assert len(grid.by_road_type(RoadType.PRIMARY)) == 12
+        assert len(grid.by_road_type(RoadType.SECONDARY)) == 12
+
+    def test_segment_lengths_match_spacing(self):
+        grid = CityNetworkBuilder(seed=1).build_grid(3, 3, spacing_m=500.0)
+        for segment in grid.segments():
+            assert segment.length_m == pytest.approx(500.0, rel=0.01)
+
+    def test_validation(self):
+        builder = CityNetworkBuilder(seed=1)
+        with pytest.raises(ValueError):
+            builder.build_grid(rows=1, cols=3)
+        with pytest.raises(ValueError):
+            builder.build_grid(rows=3, cols=3, spacing_m=0.0)
+
+
+class TestRouter:
+    def test_trivial_route(self, grid):
+        assert Router(grid).route(5, 5) == [5]
+
+    def test_adjacent_route(self, grid):
+        router = Router(grid)
+        neighbor = grid.neighbors(1)[0]
+        assert router.route(1, neighbor) == [1, neighbor]
+
+    def test_route_is_connected_path(self, grid):
+        router = Router(grid)
+        path = router.route(1, len(grid))
+        assert path[0] == 1
+        assert path[-1] == len(grid)
+        for a, b in zip(path, path[1:]):
+            assert b in grid.neighbors(a)
+
+    def test_route_is_shortest_on_known_grid(self):
+        # 2x3 grid: going corner to corner must traverse >= 3 segments.
+        grid = CityNetworkBuilder(seed=1).build_grid(2, 3)
+        router = Router(grid)
+        ids = grid.segment_ids()
+        path = router.route(ids[0], ids[-1])
+        assert 2 <= len(path) <= 5
+
+    def test_unknown_segment_raises(self, grid):
+        router = Router(grid)
+        with pytest.raises(KeyError):
+            router.route(1, 999)
+        with pytest.raises(KeyError):
+            router.reachable_from(999)
+
+    def test_disconnected_raises(self):
+        network = RoadNetwork()
+        network.add_segment(
+            RoadSegment(1, RoadType.PRIMARY,
+                        [CENTER, destination_point(CENTER, 0.0, 500.0)])
+        )
+        far = destination_point(CENTER, 90.0, 50_000.0)
+        network.add_segment(
+            RoadSegment(2, RoadType.PRIMARY,
+                        [far, destination_point(far, 0.0, 500.0)])
+        )
+        with pytest.raises(RouteNotFound):
+            Router(network).route(1, 2)
+
+    def test_route_length(self, grid):
+        router = Router(grid)
+        path = router.route(1, grid.neighbors(1)[0])
+        expected = sum(grid.segment(sid).length_m for sid in path)
+        assert router.route_length_m(path) == pytest.approx(expected)
+
+
+class TestRoutedTrips:
+    def test_generator_routed_plan(self, grid):
+        from repro.dataset import DatasetGenerator, GeneratorConfig
+
+        dataset = DatasetGenerator(
+            grid,
+            GeneratorConfig(
+                n_cars=10, trips_per_car=3, seed=2, route_plan="routed"
+            ),
+        ).generate()
+        assert dataset.records
+        # Routed trips traverse multiple segments of the grid.
+        segments_per_trip = {}
+        for record in dataset.records:
+            segments_per_trip.setdefault(record.trip_id, set()).add(
+                record.road_id
+            )
+        multi_hop = [s for s in segments_per_trip.values() if len(s) >= 2]
+        assert len(multi_hop) > len(segments_per_trip) / 2

@@ -1,0 +1,67 @@
+"""Tests for the Batch (RDD analogue)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.microbatch import Batch
+
+
+class TestBatch:
+    def test_immutability_via_new_batches(self):
+        batch = Batch([1, 2, 3])
+        doubled = batch.map(lambda x: x * 2)
+        assert batch.collect() == [1, 2, 3]
+        assert doubled.collect() == [2, 4, 6]
+
+    def test_batch_time_propagates(self):
+        batch = Batch([1], batch_time=2.5)
+        assert batch.map(lambda x: x).batch_time == 2.5
+        assert batch.filter(lambda x: True).batch_time == 2.5
+
+    def test_filter(self):
+        batch = Batch(range(10))
+        assert batch.filter(lambda x: x % 2 == 0).collect() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self):
+        batch = Batch([1, 2])
+        assert batch.flat_map(lambda x: [x] * x).collect() == [1, 2, 2]
+
+    def test_map_partitions_sees_whole_list(self):
+        batch = Batch([3, 1, 2])
+        result = batch.map_partitions(sorted)
+        assert result.collect() == [1, 2, 3]
+
+    def test_reduce(self):
+        assert Batch([1, 2, 3, 4]).reduce(lambda a, b: a + b) == 10
+
+    def test_reduce_empty_raises(self):
+        with pytest.raises(ValueError):
+            Batch([]).reduce(lambda a, b: a + b)
+
+    def test_group_by(self):
+        batch = Batch(["aa", "ab", "bc"])
+        groups = batch.group_by(lambda s: s[0])
+        assert groups == {"a": ["aa", "ab"], "b": ["bc"]}
+
+    def test_first(self):
+        assert Batch([7, 8]).first() == 7
+        with pytest.raises(IndexError):
+            Batch([]).first()
+
+    def test_emptiness(self):
+        assert Batch([]).is_empty()
+        assert not Batch([])
+        assert Batch([1])
+        assert len(Batch([1, 2])) == 2
+
+    @given(st.lists(st.integers(), max_size=50))
+    def test_map_then_filter_equals_filter_then_map(self, items):
+        batch = Batch(items)
+        a = batch.map(lambda x: x + 1).filter(lambda x: x % 2 == 0)
+        b = batch.filter(lambda x: (x + 1) % 2 == 0).map(lambda x: x + 1)
+        assert a.collect() == b.collect()
+
+    @given(st.lists(st.integers(), max_size=50))
+    def test_count_matches_len(self, items):
+        assert Batch(items).count() == len(items)

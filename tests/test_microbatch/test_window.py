@@ -1,0 +1,71 @@
+"""Tests for windowed DStream operations."""
+
+import pytest
+
+from repro.microbatch import Batch, DStream
+from repro.microbatch.dstream import _WindowState
+
+
+class TestWindowState:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _WindowState(0, 1, lambda b, t: None)
+        with pytest.raises(ValueError):
+            _WindowState(1, 0, lambda b, t: None)
+
+
+class TestForeachWindow:
+    def run_batches(self, stream, batches):
+        for index, items in enumerate(batches):
+            stream.process(Batch(items, batch_time=float(index)), float(index))
+
+    def test_window_merges_last_n_batches(self):
+        stream = DStream()
+        windows = []
+        stream.foreach_window(3, lambda b, t: windows.append(b.collect()))
+        self.run_batches(stream, [[1], [2], [3], [4]])
+        # Slide 1: a window per batch, containing up to the last 3.
+        assert windows == [[1], [1, 2], [1, 2, 3], [2, 3, 4]]
+
+    def test_slide_skips_batches(self):
+        stream = DStream()
+        windows = []
+        stream.foreach_window(2, lambda b, t: windows.append(b.collect()), slide=2)
+        self.run_batches(stream, [[1], [2], [3], [4], [5], [6]])
+        assert windows == [[1, 2], [3, 4], [5, 6]]
+
+    def test_transforms_apply_before_windowing(self):
+        stream = DStream()
+        windows = []
+        stream.map(lambda x: x * 10).foreach_window(
+            2, lambda b, t: windows.append(b.collect())
+        )
+        self.run_batches(stream, [[1], [2]])
+        assert windows == [[10], [10, 20]]
+
+    def test_window_batch_time_is_oldest(self):
+        stream = DStream()
+        times = []
+        stream.foreach_window(3, lambda b, t: times.append(b.batch_time))
+        self.run_batches(stream, [[1], [2], [3], [4]])
+        assert times == [0.0, 0.0, 0.0, 1.0]
+
+    def test_windowed_rolling_mean_use_case(self):
+        """The RSU's rolling speed context: mean over last 4 batches."""
+        stream = DStream()
+        means = []
+        stream.foreach_window(
+            4,
+            lambda b, t: means.append(sum(b.collect()) / len(b)),
+        )
+        self.run_batches(stream, [[100], [120], [140], [160], [180]])
+        assert means[-1] == pytest.approx((120 + 140 + 160 + 180) / 4)
+
+    def test_coexists_with_plain_sinks(self):
+        stream = DStream()
+        plain, windowed = [], []
+        stream.foreach_batch(lambda b, t: plain.append(b.count()))
+        stream.foreach_window(2, lambda b, t: windowed.append(b.count()))
+        self.run_batches(stream, [[1], [2, 3]])
+        assert plain == [1, 2]
+        assert windowed == [1, 3]

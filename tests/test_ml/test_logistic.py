@@ -1,0 +1,99 @@
+"""Tests for logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LogisticRegression, NotFittedError
+from repro.ml.base import EstimatorError
+
+
+def blobs(n=300, separation=3.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [rng.normal(0, 1, (n, 2)), rng.normal(separation, 1, (n, 2))]
+    )
+    y = np.array([0] * n + [1] * n)
+    return X, y
+
+
+class TestLogisticRegression:
+    def test_separable_blobs(self):
+        X, y = blobs()
+        model = LogisticRegression().fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.95
+
+    def test_proba_rows_sum_to_one(self):
+        X, y = blobs(n=100)
+        model = LogisticRegression().fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.sum(axis=1) == pytest.approx(np.ones(len(X)))
+
+    def test_proba_of_column(self):
+        X, y = blobs(n=100)
+        model = LogisticRegression().fit(X, y)
+        assert model.proba_of(X, 1) == pytest.approx(model.predict_proba(X)[:, 1])
+        with pytest.raises(ValueError):
+            model.proba_of(X, 7)
+
+    def test_unscaled_features_handled(self):
+        """Speed (~150) and accel (~0.5) scales differ by 300x; the
+        internal standardisation must cope."""
+        rng = np.random.default_rng(1)
+        speed = np.concatenate([rng.normal(160, 15, 200), rng.normal(220, 15, 200)])
+        accel = rng.normal(0, 0.6, 400)
+        X = np.column_stack([speed, accel])
+        y = np.array([1] * 200 + [0] * 200)
+        model = LogisticRegression().fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.9
+
+    def test_multiclass_rejected(self):
+        X = np.zeros((9, 2))
+        X[3:6] += 1
+        X[6:] += 2
+        y = np.array([0] * 3 + [1] * 3 + [2] * 3)
+        with pytest.raises(ValueError, match="binary"):
+            LogisticRegression().fit(X, y)
+
+    def test_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_feature_mismatch(self):
+        X, y = blobs(n=50)
+        model = LogisticRegression().fit(X, y)
+        with pytest.raises(EstimatorError):
+            model.predict(np.zeros((2, 5)))
+
+    def test_constant_feature_survives(self):
+        rng = np.random.default_rng(2)
+        X = np.column_stack([rng.normal(0, 1, 200), np.full(200, 3.0)])
+        y = (X[:, 0] > 0).astype(int)
+        model = LogisticRegression().fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.9
+
+    def test_explain_mentions_features(self):
+        X, y = blobs(n=50)
+        model = LogisticRegression().fit(X, y)
+        text = model.explain(["speed", "accel"])
+        assert "speed" in text and "accel" in text
+        with pytest.raises(ValueError):
+            model.explain(["just_one"])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            LogisticRegression(n_iterations=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+    def test_informative_feature_gets_larger_weight(self):
+        rng = np.random.default_rng(3)
+        informative = np.concatenate(
+            [rng.normal(-1, 0.5, 200), rng.normal(1, 0.5, 200)]
+        )
+        noise = rng.normal(0, 1, 400)
+        X = np.column_stack([informative, noise])
+        y = np.array([0] * 200 + [1] * 200)
+        model = LogisticRegression().fit(X, y)
+        assert abs(model.coef_[0]) > 3 * abs(model.coef_[1])

@@ -1,0 +1,101 @@
+"""Tests for classification metrics (abnormal = positive convention)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    accuracy_score,
+    confusion_matrix,
+    evaluate_binary,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.ml.base import EstimatorError
+
+# abnormal = 0 is the positive class throughout (paper convention).
+Y_TRUE = np.array([0, 0, 0, 0, 1, 1, 1, 1, 1, 1])
+Y_PRED = np.array([0, 0, 1, 1, 1, 1, 1, 1, 0, 1])
+# TP=2 (abnormal called abnormal), FN=2, FP=1, TN=5
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix = confusion_matrix(Y_TRUE, Y_PRED)
+        assert matrix.tolist() == [[2, 2], [1, 5]]
+
+    def test_perfect_prediction(self):
+        matrix = confusion_matrix(Y_TRUE, Y_TRUE)
+        assert matrix.tolist() == [[4, 0], [0, 6]]
+
+    def test_positive_class_configurable(self):
+        matrix = confusion_matrix(Y_TRUE, Y_PRED, positive=1)
+        # For positive=1: TP=5, FN=1, FP=2, TN=2
+        assert matrix.tolist() == [[5, 1], [2, 2]]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EstimatorError):
+            confusion_matrix([0, 1], [0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimatorError):
+            accuracy_score([], [])
+
+
+class TestScores:
+    def test_accuracy(self):
+        assert accuracy_score(Y_TRUE, Y_PRED) == pytest.approx(0.7)
+
+    def test_precision(self):
+        assert precision_score(Y_TRUE, Y_PRED) == pytest.approx(2 / 3)
+
+    def test_recall(self):
+        assert recall_score(Y_TRUE, Y_PRED) == pytest.approx(0.5)
+
+    def test_f1_harmonic_mean(self):
+        precision, recall = 2 / 3, 0.5
+        expected = 2 * precision * recall / (precision + recall)
+        assert f1_score(Y_TRUE, Y_PRED) == pytest.approx(expected)
+
+    def test_degenerate_no_positive_predictions(self):
+        y_true = np.array([0, 1, 1])
+        y_pred = np.array([1, 1, 1])
+        assert precision_score(y_true, y_pred) == 0.0
+        assert recall_score(y_true, y_pred) == 0.0
+        assert f1_score(y_true, y_pred) == 0.0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_accuracy_bounds(self, bits):
+        y = np.array(bits, dtype=int)
+        rng = np.random.default_rng(0)
+        predictions = rng.integers(0, 2, len(y))
+        assert 0.0 <= accuracy_score(y, predictions) <= 1.0
+
+
+class TestEvaluateBinary:
+    def test_report_fields(self):
+        report = evaluate_binary(Y_TRUE, Y_PRED)
+        assert report.tp == 2
+        assert report.fn == 2
+        assert report.fp == 1
+        assert report.tn == 5
+        assert report.n_samples == 10
+        assert report.tp_rate == pytest.approx(0.2)
+        assert report.fn_rate == pytest.approx(0.2)
+
+    def test_rates_sum_to_abnormal_fraction(self):
+        """Table IV convention: TP rate + FN rate equals the abnormal
+        share of the evaluation set."""
+        report = evaluate_binary(Y_TRUE, Y_PRED)
+        abnormal_fraction = np.mean(Y_TRUE == 0)
+        assert report.tp_rate + report.fn_rate == pytest.approx(
+            abnormal_fraction
+        )
+
+    def test_format_row(self):
+        text = evaluate_binary(Y_TRUE, Y_PRED).format_row("CAD3")
+        assert "CAD3" in text
+        assert "f1=" in text

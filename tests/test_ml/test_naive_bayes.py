@@ -1,0 +1,140 @@
+"""Tests for Gaussian Naive Bayes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import EstimatorError, GaussianNaiveBayes, NotFittedError
+
+
+def gaussian_blobs(n=400, separation=3.0, seed=0, n_features=2):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(0.0, 1.0, (n, n_features))
+    X1 = rng.normal(separation, 1.0, (n, n_features))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * n + [1] * n)
+    return X, y
+
+
+class TestFit:
+    def test_learns_means(self):
+        X, y = gaussian_blobs(seed=1)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.theta_[0] == pytest.approx([0.0, 0.0], abs=0.2)
+        assert model.theta_[1] == pytest.approx([3.0, 3.0], abs=0.2)
+
+    def test_learned_priors_match_frequencies(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(0, 1, (100, 2))
+        X[:25] += 5.0
+        y = np.array([1] * 25 + [0] * 75)
+        model = GaussianNaiveBayes().fit(X, y)
+        # classes_ sorted: [0, 1]
+        assert np.exp(model.class_log_prior_) == pytest.approx([0.75, 0.25])
+
+    def test_fixed_priors(self):
+        X, y = gaussian_blobs(seed=3)
+        model = GaussianNaiveBayes(priors=np.array([0.9, 0.1])).fit(X, y)
+        assert np.exp(model.class_log_prior_) == pytest.approx([0.9, 0.1])
+
+    def test_bad_priors_rejected(self):
+        X, y = gaussian_blobs()
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes(priors=np.array([0.9, 0.2])).fit(X, y)
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes(priors=np.array([1.0])).fit(X, y)
+
+    def test_single_class_rejected(self):
+        X = np.zeros((10, 2))
+        y = np.zeros(10)
+        with pytest.raises(ValueError, match="single class"):
+            GaussianNaiveBayes().fit(X, y)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(EstimatorError):
+            GaussianNaiveBayes().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_nan_rejected(self):
+        X, y = gaussian_blobs(n=10)
+        X[0, 0] = np.nan
+        with pytest.raises(EstimatorError):
+            GaussianNaiveBayes().fit(X, y)
+
+    def test_zero_variance_feature_survives(self):
+        """A constant feature must not produce division by zero."""
+        rng = np.random.default_rng(4)
+        X = np.column_stack([rng.normal(0, 1, 100), np.full(100, 7.0)])
+        y = (X[:, 0] > 0).astype(int)
+        model = GaussianNaiveBayes().fit(X, y)
+        predictions = model.predict(X)
+        assert np.mean(predictions == y) > 0.9
+
+
+class TestPredict:
+    def test_separable_blobs_high_accuracy(self):
+        X, y = gaussian_blobs(separation=4.0, seed=5)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.97
+
+    def test_proba_rows_sum_to_one(self):
+        X, y = gaussian_blobs(seed=6)
+        model = GaussianNaiveBayes().fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (len(X), 2)
+        assert proba.sum(axis=1) == pytest.approx(np.ones(len(X)))
+
+    def test_proba_of_selects_class_column(self):
+        X, y = gaussian_blobs(seed=7)
+        model = GaussianNaiveBayes().fit(X, y)
+        p1 = model.proba_of(X, 1)
+        assert p1 == pytest.approx(model.predict_proba(X)[:, 1])
+
+    def test_proba_of_unknown_class(self):
+        X, y = gaussian_blobs(n=20)
+        model = GaussianNaiveBayes().fit(X, y)
+        with pytest.raises(ValueError):
+            model.proba_of(X, 99)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GaussianNaiveBayes().predict(np.zeros((2, 2)))
+
+    def test_feature_count_mismatch(self):
+        X, y = gaussian_blobs(n=20)
+        model = GaussianNaiveBayes().fit(X, y)
+        with pytest.raises(EstimatorError):
+            model.predict(np.zeros((3, 5)))
+
+    def test_extreme_values_stay_finite(self):
+        """Log-space arithmetic must not overflow on far-out points."""
+        X, y = gaussian_blobs(n=50)
+        model = GaussianNaiveBayes().fit(X, y)
+        proba = model.predict_proba(np.array([[1e6, -1e6]]))
+        assert np.all(np.isfinite(proba))
+        assert proba.sum() == pytest.approx(1.0)
+
+    def test_string_class_labels(self):
+        X, y = gaussian_blobs(n=50)
+        labels = np.where(y == 0, "calm", "wild")
+        model = GaussianNaiveBayes().fit(X, labels)
+        assert set(model.predict(X)) <= {"calm", "wild"}
+        assert model.proba_of(X, "wild").shape == (100,)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_prediction_is_argmax_of_proba(self, seed):
+        X, y = gaussian_blobs(n=30, separation=1.0, seed=seed)
+        model = GaussianNaiveBayes().fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.array_equal(
+            model.predict(X), model.classes_[np.argmax(proba, axis=1)]
+        )
+
+    def test_decision_boundary_midpoint(self):
+        """With equal priors and symmetric blobs, the midpoint between
+        the class means classifies near 50/50."""
+        X, y = gaussian_blobs(separation=4.0, seed=8, n=2000)
+        model = GaussianNaiveBayes().fit(X, y)
+        proba = model.predict_proba(np.array([[2.0, 2.0]]))
+        assert proba[0, 0] == pytest.approx(0.5, abs=0.1)

@@ -1,0 +1,51 @@
+"""Tests for wired inter-RSU links."""
+
+import pytest
+
+from repro.net import WiredLink
+from repro.simkernel import Simulator
+
+
+class TestWiredLink:
+    def test_delivery_time_includes_latency_and_serialization(self):
+        sim = Simulator()
+        link = WiredLink(sim, latency_s=1e-3, bandwidth_bps=8e6)  # 1 MB/s
+        delivered = []
+        delivery = link.send(1000, delivered.append)
+        sim.run()
+        assert delivered == [delivery]
+        assert delivery == pytest.approx(1e-3 + 1000 * 8 / 8e6)
+
+    def test_fifo_serialization(self):
+        sim = Simulator()
+        link = WiredLink(sim, latency_s=0.0, bandwidth_bps=8000.0)  # 1 KB/s
+        deliveries = []
+        link.send(1000, deliveries.append)  # 1 s on the wire
+        link.send(1000, deliveries.append)  # queues behind
+        sim.run()
+        assert deliveries == pytest.approx([1.0, 2.0])
+
+    def test_idle_link_no_queueing(self):
+        sim = Simulator()
+        link = WiredLink(sim, latency_s=0.5e-3)
+        first = link.send(100, lambda t: None)
+        sim.run()
+        second = link.send(100, lambda t: None)
+        assert second - sim.now == pytest.approx(first - 0.0, rel=0.01)
+
+    def test_accounting(self):
+        sim = Simulator()
+        link = WiredLink(sim)
+        link.send(500, lambda t: None)
+        link.send(300, lambda t: None)
+        assert link.bytes_sent == 800
+        assert link.packets_sent == 2
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            WiredLink(sim, latency_s=-1.0)
+        with pytest.raises(ValueError):
+            WiredLink(sim, bandwidth_bps=0.0)
+        with pytest.raises(ValueError):
+            WiredLink(sim).send(0, lambda t: None)

@@ -1,0 +1,271 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Each class pins an invariant a substrate must hold for *any* input,
+not just the examples unit tests chose.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accidents import speed_deviation_delta
+from repro.ml import GaussianNaiveBayes
+from repro.net import HtbClass, HtbShaper
+from repro.net.dsrc import DsrcMacModel, PAPER_MCS_8
+from repro.simkernel import EventQueue, Simulator
+from repro.streaming import JsonSerde
+from repro.streaming.topic import Topic
+
+
+class TestEventQueueOrdering:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pop_order_is_sorted(self, times):
+        queue = EventQueue()
+        for time in times:
+            queue.push(time, lambda: None)
+        popped = []
+        while queue:
+            popped.append(queue.pop().time)
+        assert popped == sorted(times)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cancellation_never_fires(self, entries):
+        queue = EventQueue()
+        fired = []
+        cancelled_tags = set()
+        for tag, (time, cancel) in enumerate(entries):
+            event = queue.push(time, lambda t=tag: fired.append(t))
+            if cancel:
+                queue.cancel(event)
+                cancelled_tags.add(tag)
+        while queue:
+            queue.pop().callback()
+        assert not (set(fired) & cancelled_tags)
+        assert len(fired) == len(entries) - len(cancelled_tags)
+
+
+class TestSimulatorTimeMonotonicity:
+    @given(
+        st.lists(
+            st.floats(min_value=0.001, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_observed_time_never_decreases(self, delays):
+        sim = Simulator()
+        observed = []
+
+        def chain(remaining):
+            observed.append(sim.now)
+            if remaining:
+                sim.after(remaining[0], lambda: chain(remaining[1:]))
+
+        sim.at(0.0, lambda: chain(delays))
+        sim.run()
+        assert observed == sorted(observed)
+
+
+class TestSerdeRoundTrip:
+    json_values = st.recursive(
+        st.none()
+        | st.booleans()
+        | st.integers(min_value=-(2**31), max_value=2**31)
+        | st.floats(allow_nan=False, allow_infinity=False)
+        | st.text(max_size=30),
+        lambda children: st.lists(children, max_size=5)
+        | st.dictionaries(st.text(max_size=10), children, max_size=5),
+        max_leaves=20,
+    )
+
+    @given(json_values)
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip(self, value):
+        serde = JsonSerde()
+        assert serde.deserialize(serde.serialize(value)) == value
+
+
+class TestTopicRouting:
+    @given(st.binary(min_size=1, max_size=30), st.integers(min_value=1, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_keyed_routing_stable_and_in_range(self, key, partitions):
+        topic = Topic("t", partitions)
+        first = topic.route(key)
+        assert 0 <= first < partitions
+        assert topic.route(key) == first
+
+
+class TestHtbConservation:
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=5000), min_size=1, max_size=100
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bytes_sent_accounting(self, packet_sizes):
+        root = HtbClass("root", 27e6, 27e6)
+        shaper = HtbShaper(root)
+        shaper.add_leaf(HtbClass("v", 100e3, 27e6))
+        now = 0.0
+        for size in packet_sizes:
+            delay = shaper.send("v", size, now)
+            assert delay >= 0.0
+            now += 0.01 + delay
+        assert shaper.leaf("v").bytes_sent == sum(packet_sizes)
+
+    @given(st.floats(min_value=0.001, max_value=10.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_tokens_never_exceed_burst(self, elapsed):
+        leaf = HtbClass("v", 1e6, 1e6, burst_bytes=1000.0)
+        leaf.refill(elapsed)
+        assert leaf.tokens <= 1000.0
+
+
+class TestMacModelProperties:
+    @given(st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=50, deadline=None)
+    def test_access_time_positive_and_linear(self, n):
+        model = DsrcMacModel()
+        single = model.channel_access_time_s(1, PAPER_MCS_8)
+        assert model.channel_access_time_s(n, PAPER_MCS_8) == pytest.approx(
+            n * single
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=50, max_value=1500),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bigger_payloads_never_faster(self, n, payload):
+        model = DsrcMacModel()
+        small = model.channel_access_time_s(n, PAPER_MCS_8, payload)
+        large = model.channel_access_time_s(n, PAPER_MCS_8, payload + 100)
+        assert large > small
+
+
+class TestAccidentDeltaProperties:
+    @given(
+        st.floats(min_value=1.0, max_value=300.0),
+        st.floats(min_value=0.0, max_value=600.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_delta_bounded(self, road_speed, vehicle_speed):
+        delta = speed_deviation_delta(road_speed, vehicle_speed)
+        assert 0.0 <= delta < 1.0
+
+    @given(
+        st.floats(min_value=10.0, max_value=200.0),
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=0.1, max_value=50.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_delta_monotone_in_speeding(self, road_speed, excess, more):
+        mild = speed_deviation_delta(road_speed, road_speed + excess)
+        severe = speed_deviation_delta(road_speed, road_speed + excess + more)
+        assert severe >= mild
+
+
+class TestSummaryMerge:
+    summaries = st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1.0),
+            st.integers(min_value=1, max_value=100),
+            st.floats(min_value=0.0, max_value=1e6),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+
+    @staticmethod
+    def build(entries):
+        from repro.core.features import PredictionSummary
+
+        return [
+            PredictionSummary(
+                car_id=1,
+                mean_normal_prob=prob,
+                n_predictions=n,
+                last_class=1,
+                from_road_id=0,
+                timestamp=ts,
+            )
+            for prob, n, ts in entries
+        ]
+
+    @given(summaries)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_preserves_weighted_mean(self, entries):
+        from repro.core.features import PredictionSummary
+
+        items = self.build(entries)
+        merged = PredictionSummary.merge(items)
+        total = sum(s.n_predictions for s in items)
+        expected = (
+            sum(s.mean_normal_prob * s.n_predictions for s in items) / total
+        )
+        assert merged.n_predictions == total
+        assert merged.mean_normal_prob == pytest.approx(expected, abs=1e-9)
+        assert 0.0 <= merged.mean_normal_prob <= 1.0
+
+    @given(summaries)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_fold_associative(self, entries):
+        """Merging all at once equals chaining pairwise merges — the
+        property the multi-hop summary chain relies on."""
+        from repro.core.features import PredictionSummary
+
+        items = self.build(entries)
+        merged_all = PredictionSummary.merge(items)
+        folded = items[0]
+        for item in items[1:]:
+            folded = PredictionSummary.merge([folded, item])
+        assert folded.n_predictions == merged_all.n_predictions
+        assert folded.mean_normal_prob == pytest.approx(
+            merged_all.mean_normal_prob, abs=1e-9
+        )
+
+
+class TestIncrementalNaiveBayes:
+    @given(st.integers(min_value=0, max_value=1000), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_partial_fit_equals_fit(self, seed, n_chunks):
+        rng = np.random.default_rng(seed)
+        X = np.vstack(
+            [rng.normal(0, 1, (60, 2)), rng.normal(2.5, 1, (60, 2))]
+        )
+        y = np.array([0] * 60 + [1] * 60)
+        order = rng.permutation(len(y))
+        X, y = X[order], y[order]
+
+        full = GaussianNaiveBayes().fit(X, y)
+        incremental = GaussianNaiveBayes()
+        for chunk_X, chunk_y in zip(
+            np.array_split(X, n_chunks), np.array_split(y, n_chunks)
+        ):
+            if len(chunk_y) == 0:
+                continue
+            incremental.partial_fit(chunk_X, chunk_y, classes=[0, 1])
+        assert np.allclose(full.theta_, incremental.theta_, atol=1e-9)
+        assert np.allclose(full.var_, incremental.var_, atol=1e-7)
+        assert np.array_equal(full.predict(X), incremental.predict(X))

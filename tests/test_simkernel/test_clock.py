@@ -1,0 +1,39 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.simkernel import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance_to(1.5)
+        assert clock.now == 1.5
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = SimClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_backwards_raises(self):
+        clock = SimClock(3.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(2.9)
+
+    def test_now_ms_converts(self):
+        clock = SimClock(0.050)
+        assert clock.now_ms == pytest.approx(50.0)
+
+    def test_repr_contains_time(self):
+        assert "1.5" in repr(SimClock(1.5))

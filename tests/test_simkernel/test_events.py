@@ -1,0 +1,74 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.simkernel import EventQueue
+
+
+class TestEventQueue:
+    def test_empty_queue_is_falsy(self):
+        queue = EventQueue()
+        assert not queue
+        assert len(queue) == 0
+
+    def test_pop_returns_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(3.0, lambda: fired.append("c"))
+        while queue:
+            queue.pop().callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_preserves_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for tag in range(5):
+            queue.push(1.0, lambda t=tag: order.append(t))
+        while queue:
+            queue.pop().callback()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda: order.append("low"), priority=5)
+        queue.push(1.0, lambda: order.append("high"), priority=-5)
+        while queue:
+            queue.pop().callback()
+        assert order == ["high", "low"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        keep = queue.push(1.0, lambda: fired.append("keep"))
+        drop = queue.push(0.5, lambda: fired.append("drop"))
+        queue.cancel(drop)
+        assert len(queue) == 1
+        event = queue.pop()
+        event.callback()
+        assert fired == ["keep"]
+        assert event is keep
+
+    def test_double_cancel_does_not_corrupt_count(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(first)
+        assert queue.peek_time() == 2.0
+
+    def test_peek_time_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()

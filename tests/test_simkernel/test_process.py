@@ -1,0 +1,113 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.simkernel import Process, ProcessState, Simulator
+
+
+class TestProcess:
+    def test_yields_advance_time(self):
+        sim = Simulator()
+        ticks = []
+
+        def beacon():
+            for _ in range(3):
+                ticks.append(round(sim.now, 6))
+                yield 0.1
+
+        Process(sim, beacon())
+        sim.run()
+        assert ticks == [0.0, 0.1, 0.2]
+
+    def test_result_captured_on_finish(self):
+        sim = Simulator()
+
+        def worker():
+            yield 0.1
+            return 42
+
+        process = Process(sim, worker())
+        sim.run()
+        assert process.state is ProcessState.FINISHED
+        assert process.result == 42
+        assert not process.alive
+
+    def test_start_at_delays_first_resume(self):
+        sim = Simulator()
+        times = []
+
+        def worker():
+            times.append(sim.now)
+            yield 0.0
+
+        Process(sim, worker(), start_at=2.0)
+        sim.run()
+        assert times == [2.0]
+
+    def test_interrupt_stops_process(self):
+        sim = Simulator()
+        ticks = []
+
+        def worker():
+            while True:
+                ticks.append(sim.now)
+                yield 0.1
+
+        process = Process(sim, worker())
+        sim.at(0.25, process.interrupt)
+        sim.run()
+        assert process.state is ProcessState.INTERRUPTED
+        assert len(ticks) == 3  # t=0, 0.1, 0.2
+
+    def test_interrupt_finished_process_is_noop(self):
+        sim = Simulator()
+
+        def worker():
+            yield 0.1
+
+        process = Process(sim, worker())
+        sim.run()
+        process.interrupt()
+        assert process.state is ProcessState.FINISHED
+
+    def test_negative_yield_fails_process(self):
+        sim = Simulator()
+
+        def worker():
+            yield -1.0
+
+        process = Process(sim, worker())
+        with pytest.raises(ValueError):
+            sim.run()
+        assert process.state is ProcessState.FAILED
+
+    def test_exception_in_body_is_surfaced(self):
+        sim = Simulator()
+
+        def worker():
+            yield 0.1
+            raise RuntimeError("boom")
+
+        process = Process(sim, worker())
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+        assert process.state is ProcessState.FAILED
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        trace = []
+
+        def worker(name, period):
+            for _ in range(2):
+                trace.append((name, round(sim.now, 6)))
+                yield period
+
+        Process(sim, worker("fast", 0.1), name="fast")
+        Process(sim, worker("slow", 0.3), name="slow")
+        sim.run()
+        assert trace == [
+            ("fast", 0.0),
+            ("slow", 0.0),
+            ("fast", 0.1),
+            ("slow", 0.3),
+        ]

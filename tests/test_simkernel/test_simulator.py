@@ -1,0 +1,130 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.simkernel import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_at_schedules_absolute(self):
+        sim = Simulator()
+        times = []
+        sim.at(1.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.0]
+
+    def test_after_schedules_relative(self):
+        sim = Simulator()
+        times = []
+        sim.at(1.0, lambda: sim.after(0.5, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [1.5]
+
+    def test_at_in_the_past_raises(self):
+        sim = Simulator()
+        sim.at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().after(-0.1, lambda: None)
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        event = sim.at(1.0, lambda: fired.append(1))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+
+class TestPeriodic:
+    def test_every_fires_at_interval(self):
+        sim = Simulator()
+        times = []
+        sim.every(0.1, lambda: times.append(round(sim.now, 6)), until=0.35)
+        sim.run()
+        assert times == [0.1, 0.2, 0.3]
+
+    def test_every_with_start(self):
+        sim = Simulator()
+        times = []
+        sim.every(0.1, lambda: times.append(round(sim.now, 6)), start=0.05, until=0.3)
+        sim.run()
+        assert times == [0.05, pytest.approx(0.15), pytest.approx(0.25)]
+
+    def test_every_cancel_stops_recurrence(self):
+        sim = Simulator()
+        times = []
+        cancel = sim.every(0.1, lambda: times.append(sim.now))
+        sim.at(0.25, cancel)
+        sim.run()
+        assert len(times) == 2
+
+    def test_nonpositive_interval_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda: None)
+
+
+class TestRunning:
+    def test_run_returns_final_time(self):
+        sim = Simulator()
+        sim.at(2.5, lambda: None)
+        assert sim.run() == 2.5
+
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1.0, lambda: fired.append(1))
+        sim.at(5.0, lambda: fired.append(5))
+        assert sim.run_until(2.0) == 2.0
+        assert fired == [1]
+        assert sim.now == 2.0
+
+    def test_run_until_then_run_processes_rest(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1.0, lambda: fired.append(1))
+        sim.at(5.0, lambda: fired.append(5))
+        sim.run_until(2.0)
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_run_until_past_deadline_raises(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(4.0)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.at(t, lambda: None)
+        sim.run()
+        assert sim.events_fired == 3
+
+    def test_runaway_loop_detected(self):
+        sim = Simulator(max_events=100)
+
+        def reschedule():
+            sim.after(0.001, reschedule)
+
+        sim.at(0.0, reschedule)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run()
+
+    def test_deterministic_across_runs(self):
+        def build_and_run():
+            sim = Simulator()
+            trace = []
+            sim.every(0.1, lambda: trace.append(("a", sim.now)), until=1.0)
+            sim.every(0.15, lambda: trace.append(("b", sim.now)), until=1.0)
+            sim.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,95 @@
+"""Tests for the broker."""
+
+import pytest
+
+from repro.streaming import Broker, BrokerError, TopicNotFound
+
+
+@pytest.fixture
+def broker():
+    b = Broker("rsu-1")
+    b.create_topic("IN-DATA")
+    return b
+
+
+class TestTopics:
+    def test_create_and_list(self, broker):
+        broker.create_topic("OUT-DATA", 2)
+        assert broker.topic_names() == ["IN-DATA", "OUT-DATA"]
+        assert broker.has_topic("OUT-DATA")
+
+    def test_duplicate_create_rejected(self, broker):
+        with pytest.raises(BrokerError):
+            broker.create_topic("IN-DATA")
+
+    def test_ensure_topic_idempotent(self, broker):
+        first = broker.ensure_topic("CO-DATA")
+        second = broker.ensure_topic("CO-DATA")
+        assert first is second
+
+    def test_unknown_topic_raises(self, broker):
+        with pytest.raises(TopicNotFound):
+            broker.topic("NOPE")
+        with pytest.raises(TopicNotFound):
+            broker.produce("NOPE", b"x")
+
+
+class TestProduceFetch:
+    def test_round_trip(self, broker):
+        metadata = broker.produce("IN-DATA", b"hello", key=b"car-1")
+        records = broker.fetch("IN-DATA", metadata.partition, 0)
+        assert records[-1].value == b"hello"
+        assert records[-1].key == b"car-1"
+
+    def test_explicit_partition(self, broker):
+        metadata = broker.produce("IN-DATA", b"x", partition=2)
+        assert metadata.partition == 2
+
+    def test_timestamps_from_injected_clock(self):
+        times = [1.5]
+        broker = Broker("b", clock=lambda: times[0])
+        broker.create_topic("t", 1)
+        metadata = broker.produce("t", b"x")
+        assert metadata.timestamp == 1.5
+
+    def test_explicit_timestamp_wins(self, broker):
+        metadata = broker.produce("IN-DATA", b"x", timestamp=9.0)
+        assert metadata.timestamp == 9.0
+
+    def test_byte_accounting(self, broker):
+        broker.produce("IN-DATA", b"12345", key=b"abc")
+        assert broker.bytes_in == 8
+        assert broker.records_in == 1
+        partition = broker.topic("IN-DATA").route(b"abc")
+        broker.fetch("IN-DATA", partition, 0)
+        assert broker.bytes_out == 8
+        assert broker.records_out == 1
+
+    def test_stats_snapshot(self, broker):
+        broker.produce("IN-DATA", b"x")
+        stats = broker.stats()
+        assert stats["records_in"] == 1
+        assert stats["bytes_in"] == 1
+
+
+class TestCommittedOffsets:
+    def test_commit_and_read_back(self, broker):
+        broker.commit("group-a", "IN-DATA", 0, 5)
+        assert broker.committed("group-a", "IN-DATA", 0) == 5
+
+    def test_uncommitted_defaults_to_zero(self, broker):
+        assert broker.committed("group-b", "IN-DATA", 1) == 0
+
+    def test_groups_are_independent(self, broker):
+        broker.commit("a", "IN-DATA", 0, 3)
+        broker.commit("b", "IN-DATA", 0, 7)
+        assert broker.committed("a", "IN-DATA", 0) == 3
+        assert broker.committed("b", "IN-DATA", 0) == 7
+
+    def test_negative_offset_rejected(self, broker):
+        with pytest.raises(BrokerError):
+            broker.commit("g", "IN-DATA", 0, -1)
+
+    def test_commit_to_unknown_topic_rejected(self, broker):
+        with pytest.raises(TopicNotFound):
+            broker.commit("g", "NOPE", 0, 1)

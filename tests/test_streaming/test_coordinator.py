@@ -1,0 +1,126 @@
+"""Tests for consumer-group partition assignment."""
+
+import pytest
+
+from repro.streaming import Broker, Consumer, Producer
+from repro.streaming.coordinator import GroupCoordinator
+
+
+class TestGroupCoordinator:
+    def test_single_member_gets_everything(self):
+        coordinator = GroupCoordinator()
+        coordinator.join("g", "a", {"t": 3})
+        assert coordinator.assignment("g", "a") == [("t", 0), ("t", 1), ("t", 2)]
+
+    def test_two_members_split(self):
+        coordinator = GroupCoordinator()
+        coordinator.join("g", "a", {"t": 3})
+        coordinator.join("g", "b", {"t": 3})
+        a = coordinator.assignment("g", "a")
+        b = coordinator.assignment("g", "b")
+        assert sorted(a + b) == [("t", 0), ("t", 1), ("t", 2)]
+        assert not set(a) & set(b)
+        assert abs(len(a) - len(b)) <= 1
+
+    def test_generation_bumps_on_membership_change(self):
+        coordinator = GroupCoordinator()
+        g1 = coordinator.join("g", "a", {"t": 2})
+        g2 = coordinator.join("g", "b", {"t": 2})
+        g3 = coordinator.leave("g", "a")
+        assert g1 < g2 < g3
+
+    def test_leave_reassigns(self):
+        coordinator = GroupCoordinator()
+        coordinator.join("g", "a", {"t": 4})
+        coordinator.join("g", "b", {"t": 4})
+        coordinator.leave("g", "a")
+        assert len(coordinator.assignment("g", "b")) == 4
+        with pytest.raises(KeyError):
+            coordinator.assignment("g", "a")
+
+    def test_multiple_topics_combined(self):
+        coordinator = GroupCoordinator()
+        coordinator.join("g", "a", {"t1": 2, "t2": 2})
+        assert len(coordinator.assignment("g", "a")) == 4
+
+    def test_partition_count_conflict_rejected(self):
+        coordinator = GroupCoordinator()
+        coordinator.join("g", "a", {"t": 2})
+        with pytest.raises(ValueError):
+            coordinator.join("g", "b", {"t": 3})
+
+    def test_leave_unknown_member(self):
+        with pytest.raises(KeyError):
+            GroupCoordinator().leave("g", "ghost")
+
+    def test_assignment_deterministic(self):
+        first = GroupCoordinator()
+        second = GroupCoordinator()
+        for coordinator in (first, second):
+            coordinator.join("g", "b", {"t": 5})
+            coordinator.join("g", "a", {"t": 5})
+        assert first.assignment("g", "a") == second.assignment("g", "a")
+
+
+class TestBalancedConsumers:
+    def build(self):
+        broker = Broker("b")
+        broker.create_topic("t", 4)
+        producer = Producer(broker)
+        for n in range(20):
+            producer.send("t", {"n": n}, partition=n % 4)
+        return broker
+
+    def test_balanced_consumers_partition_the_topic(self):
+        broker = self.build()
+        a = Consumer(broker, group="g", client_id="a")
+        b = Consumer(broker, group="g", client_id="b")
+        a.subscribe(["t"], balanced=True)
+        b.subscribe(["t"], balanced=True)
+        seen_a = {r.value["n"] for r in a.poll()}
+        seen_b = {r.value["n"] for r in b.poll()}
+        assert not seen_a & seen_b
+        assert seen_a | seen_b == set(range(20))
+
+    def test_rebalance_on_join(self):
+        broker = self.build()
+        a = Consumer(broker, group="g", client_id="a")
+        a.subscribe(["t"], balanced=True)
+        assert len(a.assigned_partitions) == 4
+        b = Consumer(broker, group="g", client_id="b")
+        b.subscribe(["t"], balanced=True)
+        a.poll()  # picks up the rebalance
+        assert len(a.assigned_partitions) == 2
+        assert len(b.assigned_partitions) == 2
+
+    def test_rebalance_on_leave_resumes_from_commit(self):
+        broker = self.build()
+        a = Consumer(broker, group="g", client_id="a")
+        b = Consumer(broker, group="g", client_id="b")
+        a.subscribe(["t"], balanced=True)
+        b.subscribe(["t"], balanced=True)
+        seen_a = {r.value["n"] for r in a.poll()}
+        b.poll()
+        b.close()
+        # a inherits b's partitions; b's committed offsets mean no
+        # record is seen twice.
+        seen_after = {r.value["n"] for r in a.poll()}
+        assert not seen_a & seen_after
+
+    def test_balanced_requires_group(self):
+        broker = self.build()
+        consumer = Consumer(broker)
+        with pytest.raises(ValueError):
+            consumer.subscribe(["t"], balanced=True)
+
+    def test_every_record_consumed_exactly_once_by_group(self):
+        broker = self.build()
+        consumers = [
+            Consumer(broker, group="g", client_id=f"c{i}") for i in range(3)
+        ]
+        for consumer in consumers:
+            consumer.subscribe(["t"], balanced=True)
+        seen = []
+        for consumer in consumers:
+            seen.extend(r.value["n"] for r in consumer.poll())
+        assert sorted(seen) == list(range(20))

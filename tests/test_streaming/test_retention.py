@@ -1,0 +1,71 @@
+"""Tests for partition log retention."""
+
+import pytest
+
+from repro.streaming import Broker, Consumer, Partition, Producer
+
+
+class TestPartitionRetention:
+    def test_unbounded_by_default(self):
+        partition = Partition("t", 0)
+        for index in range(1000):
+            partition.append(0.0, None, b"x")
+        assert len(partition) == 1000
+        assert partition.start_offset == 0
+
+    def test_truncates_oldest(self):
+        partition = Partition("t", 0, retention_records=5)
+        for index in range(8):
+            partition.append(0.0, None, str(index).encode())
+        assert len(partition) == 5
+        assert partition.start_offset == 3
+        assert partition.records_truncated == 3
+        assert [r.value for r in partition.read(3, 10)] == [
+            b"3", b"4", b"5", b"6", b"7",
+        ]
+
+    def test_offsets_remain_durable(self):
+        partition = Partition("t", 0, retention_records=3)
+        offsets = [partition.append(0.0, None, b"v") for _ in range(6)]
+        assert offsets == [0, 1, 2, 3, 4, 5]
+        assert partition.end_offset == 6
+
+    def test_read_below_start_resumes_at_earliest(self):
+        partition = Partition("t", 0, retention_records=3)
+        for index in range(6):
+            partition.append(0.0, None, str(index).encode())
+        records = partition.read(0, 10)
+        assert [r.value for r in records] == [b"3", b"4", b"5"]
+        assert records[0].offset == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Partition("t", 0, retention_records=0)
+
+
+class TestConsumerOverRetention:
+    def test_slow_consumer_skips_truncated_records(self):
+        broker = Broker("b")
+        broker.create_topic("t", 1, retention_records=4)
+        producer = Producer(broker)
+        consumer = Consumer(broker)
+        consumer.subscribe(["t"])
+        for n in range(10):
+            producer.send("t", {"n": n})
+        values = [r.value["n"] for r in consumer.poll()]
+        # Only the retained tail is deliverable.
+        assert values == [6, 7, 8, 9]
+        # And the consumer is caught up afterwards.
+        assert consumer.poll() == []
+
+    def test_fast_consumer_unaffected(self):
+        broker = Broker("b")
+        broker.create_topic("t", 1, retention_records=4)
+        producer = Producer(broker)
+        consumer = Consumer(broker)
+        consumer.subscribe(["t"])
+        seen = []
+        for n in range(10):
+            producer.send("t", {"n": n})
+            seen.extend(r.value["n"] for r in consumer.poll())
+        assert seen == list(range(10))

@@ -1,0 +1,75 @@
+"""Tests for partitions and topics."""
+
+import pytest
+
+from repro.streaming import Partition, Topic
+
+
+class TestPartition:
+    def test_offsets_are_sequential(self):
+        partition = Partition("t", 0)
+        assert partition.append(0.0, None, b"a") == 0
+        assert partition.append(0.1, None, b"b") == 1
+        assert partition.end_offset == 2
+
+    def test_read_from_offset(self):
+        partition = Partition("t", 0)
+        for index in range(5):
+            partition.append(float(index), None, str(index).encode())
+        records = partition.read(2, 10)
+        assert [r.value for r in records] == [b"2", b"3", b"4"]
+
+    def test_read_respects_max_records(self):
+        partition = Partition("t", 0)
+        for index in range(5):
+            partition.append(0.0, None, b"x")
+        assert len(partition.read(0, 2)) == 2
+
+    def test_read_past_end_is_empty(self):
+        partition = Partition("t", 0)
+        partition.append(0.0, None, b"x")
+        assert partition.read(5, 10) == []
+
+    def test_read_validation(self):
+        partition = Partition("t", 0)
+        with pytest.raises(ValueError):
+            partition.read(-1, 10)
+        with pytest.raises(ValueError):
+            partition.read(0, 0)
+
+    def test_bytes_accounting_includes_key(self):
+        partition = Partition("t", 0)
+        partition.append(0.0, b"key", b"value")
+        assert partition.bytes_in == 8
+
+
+class TestTopic:
+    def test_paper_default_three_partitions(self):
+        assert Topic("IN-DATA").num_partitions == 3
+
+    def test_keyed_routing_is_sticky(self):
+        topic = Topic("t", 3)
+        first = topic.route(b"car-42")
+        assert all(topic.route(b"car-42") == first for _ in range(10))
+
+    def test_unkeyed_routing_round_robins(self):
+        topic = Topic("t", 3)
+        indices = [topic.route(None) for _ in range(6)]
+        assert indices == [0, 1, 2, 0, 1, 2]
+
+    def test_partition_index_bounds(self):
+        topic = Topic("t", 2)
+        with pytest.raises(IndexError):
+            topic.partition(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Topic("", 3)
+        with pytest.raises(ValueError):
+            Topic("t", 0)
+
+    def test_total_records(self):
+        topic = Topic("t", 2)
+        topic.partition(0).append(0.0, None, b"a")
+        topic.partition(1).append(0.0, None, b"b")
+        assert topic.total_records == 2

@@ -1,0 +1,354 @@
+#!/usr/bin/env python
+"""Perf-regression harness for the columnar telemetry hot path.
+
+Measures, on the actual pipeline code (no mocks):
+
+- **simulator** — DES event throughput (events/s);
+- **serde** — JSON vs fixed-layout struct encode/decode throughput
+  (records/s and MB/s), including the vectorized
+  :func:`~repro.core.wire.decode_telemetry_block` batch decoder the
+  columnar RSU path uses;
+- **rsu_micro_batch** — end-to-end records/s through a live
+  :class:`~repro.core.rsu.RsuNode` (broker -> 50 ms micro-batch ->
+  detector -> event log -> warnings), legacy per-record loop vs the
+  columnar block path, under both serde profiles;
+- **scenarios** — wall-clock for full corridor scenario runs per
+  (columnar, serde) configuration.
+
+Writes ``BENCH_1.json`` and exits non-zero if the two acceptance
+ratios regress: columnar+struct must hold >= 3x records/s over the
+legacy+JSON micro-batch path, and the struct decode path must hold
+>= 5x the JSON decode throughput.
+
+Run ``python benchmarks/perf_harness.py --smoke`` for a quick CI
+check (same measurements, smaller workloads).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.detector import AD3Detector  # noqa: E402
+from repro.core.features import IN_DATA, record_to_payload  # noqa: E402
+from repro.core.rsu import RsuConfig, RsuNode  # noqa: E402
+from repro.core.system import ScenarioConfig, TestbedScenario  # noqa: E402
+from repro.core.wire import (  # noqa: E402
+    TelemetryStructSerde,
+    decode_telemetry_block,
+    topic_serdes,
+)
+from repro.dataset import (  # noqa: E402
+    DatasetGenerator,
+    GeneratorConfig,
+    Preprocessor,
+)
+from repro.geo import CityNetworkBuilder, RoadType  # noqa: E402
+from repro.simkernel import Simulator  # noqa: E402
+from repro.streaming.serde import JsonSerde  # noqa: E402
+
+#: Target ratios from the issue's acceptance criteria.
+RSU_TARGET = 3.0
+SERDE_TARGET = 5.0
+
+#: Consumer.poll() cap — one micro-batch drains at most this many.
+BATCH_SIZE = 500
+
+
+# ----------------------------------------------------------------------
+# Workload construction
+# ----------------------------------------------------------------------
+def build_workload(seed: int = 3):
+    """A labelled corridor dataset and a motorway detector, like the
+    paper's testbed (and the test suite's fixtures)."""
+    network = CityNetworkBuilder(seed=1).build_corridor()
+    generator = DatasetGenerator(
+        network,
+        GeneratorConfig(
+            n_cars=120, trips_per_car=6, seed=seed, erroneous_rate=0.0
+        ),
+    )
+    dataset = generator.generate()
+    dataset.records = Preprocessor().run(dataset.records)
+    train, test = dataset.split_by_trip(0.8, seed=0)
+    motorway_train = [r for r in train if r.road_type is RoadType.MOTORWAY]
+    motorway_test = [r for r in test if r.road_type is RoadType.MOTORWAY]
+    detector = AD3Detector(RoadType.MOTORWAY).fit(motorway_train)
+    return dataset, detector, motorway_test
+
+
+def make_envelopes(records, count):
+    """``count`` wire envelopes cycling over ``records``."""
+    envelopes = []
+    n = len(records)
+    for index in range(count):
+        record = records[index % n]
+        generated = index * 1e-4
+        envelopes.append(
+            {
+                "data": record_to_payload(record),
+                "generated_at": generated,
+                "arrived_at": generated + 0.012,
+            }
+        )
+    return envelopes
+
+
+# ----------------------------------------------------------------------
+# Benches
+# ----------------------------------------------------------------------
+def bench_simulator(n_events):
+    sim = Simulator()
+    fired = {"n": 0}
+
+    def tick():
+        fired["n"] += 1
+
+    for index in range(n_events):
+        sim.at(index * 1e-6, tick)
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    assert fired["n"] == n_events
+    return {
+        "events": n_events,
+        "wall_s": round(wall, 4),
+        "events_per_s": round(n_events / wall),
+    }
+
+
+def bench_serde(envelopes):
+    json_serde = JsonSerde()
+    struct_serde = TelemetryStructSerde()
+    n = len(envelopes)
+    out = {}
+
+    for name, serde in (("json", json_serde), ("struct", struct_serde)):
+        start = time.perf_counter()
+        payloads = [serde.serialize(e) for e in envelopes]
+        ser_wall = time.perf_counter() - start
+        total_bytes = sum(len(p) for p in payloads)
+        start = time.perf_counter()
+        decoded = [serde.deserialize(p) for p in payloads]
+        de_wall = time.perf_counter() - start
+        assert len(decoded) == n
+        out[name] = {
+            "records": n,
+            "bytes_per_record": round(total_bytes / n, 1),
+            "serialize_records_per_s": round(n / ser_wall),
+            "serialize_mb_per_s": round(total_bytes / ser_wall / 1e6, 1),
+            "deserialize_records_per_s": round(n / de_wall),
+            "deserialize_mb_per_s": round(total_bytes / de_wall / 1e6, 1),
+        }
+
+    # The decode path the columnar pipeline actually takes: one
+    # np.frombuffer over the whole batch.
+    struct_raw = [struct_serde.serialize(e) for e in envelopes]
+    struct_bytes = sum(len(p) for p in struct_raw)
+    start = time.perf_counter()
+    block = decode_telemetry_block(struct_raw, serde=struct_serde)
+    batch_wall = time.perf_counter() - start
+    assert len(block) == n
+    out["struct"]["batch_decode_records_per_s"] = round(n / batch_wall)
+    out["struct"]["batch_decode_mb_per_s"] = round(
+        struct_bytes / batch_wall / 1e6, 1
+    )
+
+    ratio = (
+        out["struct"]["batch_decode_records_per_s"]
+        / out["json"]["deserialize_records_per_s"]
+    )
+    out["decode_throughput_ratio"] = round(ratio, 1)
+    out["target_ratio"] = SERDE_TARGET
+    out["pass"] = ratio >= SERDE_TARGET
+    return out
+
+
+def bench_rsu_micro_batch(detector, records, n_records):
+    """End-to-end records/s through a live RsuNode per configuration."""
+    envelopes = make_envelopes(records, n_records)
+    variants = {}
+    for columnar in (False, True):
+        for profile in ("json", "struct"):
+            key = f"{'columnar' if columnar else 'legacy'}+{profile}"
+            serdes = topic_serdes(profile)
+            sim = Simulator()
+            rsu = RsuNode(
+                sim,
+                "bench",
+                detector,
+                RsuConfig(columnar=columnar, serdes=serdes),
+            )
+            in_serde = rsu._serde_for(IN_DATA)
+            raw = [in_serde.serialize(e) for e in envelopes]
+            for payload, envelope in zip(raw, envelopes):
+                rsu.broker.produce(
+                    IN_DATA,
+                    payload,
+                    key=str(envelope["data"]["car"]).encode(),
+                    timestamp=0.0,
+                )
+            ticks = n_records // BATCH_SIZE + 2
+            rsu.start(until=ticks * rsu.config.batch_interval_s)
+            start = time.perf_counter()
+            sim.run()
+            wall = time.perf_counter() - start
+            assert len(rsu.events) == n_records, key
+            variants[key] = {
+                "records": n_records,
+                "wall_s": round(wall, 4),
+                "records_per_s": round(n_records / wall),
+                "warnings": rsu.warnings_issued,
+                "events": len(rsu.events),
+            }
+    # All variants must agree on verdicts — perf must not change behaviour.
+    warning_counts = {v["warnings"] for v in variants.values()}
+    assert len(warning_counts) == 1, f"verdict divergence: {variants}"
+    baseline = variants["legacy+json"]
+    optimized = variants["columnar+struct"]
+    speedup = optimized["records_per_s"] / baseline["records_per_s"]
+    return {
+        "baseline": "legacy+json",
+        "optimized": "columnar+struct",
+        "variants": variants,
+        "speedup": round(speedup, 2),
+        "target_ratio": RSU_TARGET,
+        "pass": speedup >= RSU_TARGET,
+    }
+
+
+def bench_scenarios(dataset, duration_s, n_vehicles):
+    """Wall-clock for full corridor runs per configuration."""
+    out = {}
+    for columnar, profile in (
+        (False, "json"),
+        (True, "json"),
+        (True, "struct"),
+    ):
+        key = f"corridor[{'columnar' if columnar else 'legacy'}+{profile}]"
+        config = ScenarioConfig(
+            n_vehicles=n_vehicles,
+            duration_s=duration_s,
+            seed=7,
+            handover_fraction=0.5,
+            columnar=columnar,
+            serde_profile=profile,
+        )
+        scenario = TestbedScenario.corridor(config, motorways=2, dataset=dataset)
+        start = time.perf_counter()
+        result = scenario.run()
+        wall = time.perf_counter() - start
+        events = sum(len(rsu.events) for rsu in scenario.rsus.values())
+        out[key] = {
+            "sim_s": duration_s,
+            "n_vehicles": n_vehicles,
+            "wall_s": round(wall, 4),
+            "events": events,
+            "warnings": sum(
+                m.warnings_issued for m in result.rsu_metrics.values()
+            ),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workloads for CI (same measurements, ~10x faster)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_1.json",
+        help="output path (default: repo-root BENCH_1.json)",
+    )
+    args = parser.parse_args(argv)
+    # Fail on an unwritable destination now, not after minutes of
+    # measurement.
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+
+    if args.smoke:
+        sizes = {
+            "sim_events": 50_000,
+            "serde_records": 10_000,
+            "rsu_records": 10_000,
+            "scenario_s": 1.0,
+            "scenario_vehicles": 4,
+        }
+    else:
+        sizes = {
+            "sim_events": 200_000,
+            "serde_records": 50_000,
+            "rsu_records": 100_000,
+            "scenario_s": 3.0,
+            "scenario_vehicles": 8,
+        }
+
+    print(f"perf harness ({'smoke' if args.smoke else 'full'} mode)")
+    print("building workload (corridor dataset + fitted detector)...")
+    dataset, detector, motorway_test = build_workload()
+
+    print(f"simulator: {sizes['sim_events']} events...")
+    simulator = bench_simulator(sizes["sim_events"])
+    print(f"  {simulator['events_per_s']:,} events/s")
+
+    print(f"serde: {sizes['serde_records']} envelopes...")
+    envelopes = make_envelopes(motorway_test, sizes["serde_records"])
+    serde = bench_serde(envelopes)
+    print(
+        f"  json decode {serde['json']['deserialize_records_per_s']:,} rec/s"
+        f" ({serde['json']['deserialize_mb_per_s']} MB/s), struct batch"
+        f" decode {serde['struct']['batch_decode_records_per_s']:,} rec/s"
+        f" ({serde['struct']['batch_decode_mb_per_s']} MB/s) ->"
+        f" {serde['decode_throughput_ratio']}x"
+    )
+
+    print(f"rsu micro-batch: {sizes['rsu_records']} records x 4 variants...")
+    # A fresh detector per variant set is unnecessary: AD3Detector.detect
+    # is stateless, so one fitted model serves all runs.
+    rsu = bench_rsu_micro_batch(detector, motorway_test, sizes["rsu_records"])
+    for key, variant in rsu["variants"].items():
+        print(f"  {key:16s} {variant['records_per_s']:>10,} rec/s")
+    print(f"  speedup {rsu['speedup']}x (target >= {RSU_TARGET}x)")
+
+    print("scenario wall-clock...")
+    scenarios = bench_scenarios(
+        dataset, sizes["scenario_s"], sizes["scenario_vehicles"]
+    )
+    for key, row in scenarios.items():
+        print(f"  {key:28s} {row['wall_s']:.3f}s wall, {row['events']} events")
+
+    report = {
+        "bench": "BENCH_1",
+        "mode": "smoke" if args.smoke else "full",
+        "sizes": sizes,
+        "simulator": simulator,
+        "serde": serde,
+        "rsu_micro_batch": rsu,
+        "scenarios": scenarios,
+        "pass": serde["pass"] and rsu["pass"],
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not report["pass"]:
+        print("FAIL: acceptance ratios not met", file=sys.stderr)
+        return 1
+    print(
+        f"PASS: micro-batch {rsu['speedup']}x (>= {RSU_TARGET}x), serde "
+        f"decode {serde['decode_throughput_ratio']}x (>= {SERDE_TARGET}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

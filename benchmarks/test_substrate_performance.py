@@ -8,9 +8,14 @@ are deliberately loose (10x headroom on a laptop-class machine).
 
 import numpy as np
 
+from repro.core.features import record_to_payload
+from repro.core.wire import TelemetryStructSerde, decode_telemetry_block
+from repro.dataset.schema import AnomalyKind, TelemetryRecord
+from repro.geo.roadnet import RoadType
 from repro.ml import DecisionTreeClassifier, GaussianNaiveBayes
 from repro.simkernel import Simulator
 from repro.streaming import Broker, Consumer, Producer
+from repro.streaming.serde import JsonSerde
 
 
 def test_simulator_event_throughput(benchmark):
@@ -71,6 +76,75 @@ def test_consumer_poll_throughput(benchmark):
     consumed = benchmark.pedantic(run, rounds=1, iterations=1)
     assert consumed == 50_000
     assert benchmark.stats["mean"] < 1.5
+
+
+def _telemetry_envelopes(count):
+    rng = np.random.default_rng(42)
+    envelopes = []
+    for index in range(count):
+        record = TelemetryRecord(
+            car_id=int(index % 64),
+            road_id=int(index % 200),
+            accel_ms2=float(rng.normal(0, 2)),
+            speed_kmh=float(abs(rng.normal(90, 20))),
+            hour=int(index % 24),
+            day=int(index % 7) + 1,
+            road_type=RoadType.MOTORWAY,
+            road_mean_speed_kmh=100.0,
+            timestamp=float(index) * 0.05,
+            anomaly_kind=AnomalyKind.NONE,
+            label=int(index % 2),
+        )
+        envelopes.append(
+            {
+                "data": record_to_payload(record),
+                "generated_at": index * 0.05,
+                "arrived_at": index * 0.05 + 0.012,
+            }
+        )
+    return envelopes
+
+
+def test_struct_serde_round_trip_throughput(benchmark):
+    """The fixed-layout telemetry serde must round-trip >= 100 K
+    envelopes/s — it exists to take serialization off the hot path, so
+    it must comfortably beat the rate the simulator feeds it."""
+    envelopes = _telemetry_envelopes(20_000)
+    serde = TelemetryStructSerde()
+
+    def run():
+        payloads = [serde.serialize(e) for e in envelopes]
+        decoded = [serde.deserialize(p) for p in payloads]
+        return len(decoded), len(payloads[0])
+
+    count, wire = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert count == 20_000
+    assert wire == serde.wire_size  # every envelope took the struct path
+    assert benchmark.stats["mean"] < 0.4  # >= 100 K round trips/s
+
+
+def test_struct_batch_decode_beats_json(benchmark):
+    """decode_telemetry_block over struct payloads (one np.frombuffer)
+    must decode a micro-batch >= 5x faster than per-record JSON."""
+    import time
+
+    envelopes = _telemetry_envelopes(20_000)
+    struct_serde = TelemetryStructSerde()
+    json_serde = JsonSerde()
+    struct_raw = [struct_serde.serialize(e) for e in envelopes]
+    json_raw = [json_serde.serialize(e) for e in envelopes]
+
+    start = time.perf_counter()
+    json_block = decode_telemetry_block(json_raw, serde=json_serde)
+    json_elapsed = time.perf_counter() - start
+
+    def run():
+        return decode_telemetry_block(struct_raw, serde=struct_serde)
+
+    block = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(block) == len(json_block) == 20_000
+    assert np.array_equal(block.speed_kmh, json_block.speed_kmh)
+    assert benchmark.stats["mean"] * 5 < json_elapsed
 
 
 def test_naive_bayes_fit_predict_speed(benchmark):

@@ -22,6 +22,7 @@ from repro.core.accidents import (
     nilsson_accident_ratio,
     speed_deviation_delta,
 )
+from repro.core.block import DetectionEventLog, TelemetryBlock
 from repro.core.centralized import CentralizedDetector
 from repro.core.collaborative import CollaborativeDetector, NEUTRAL_PRIOR
 from repro.core.detector import AD3Detector, road_features
@@ -38,6 +39,14 @@ from repro.core.online import OnlineAD3Detector, OnlineLabeler, RollingProfile
 from repro.core.rsu import RsuConfig, RsuNode
 from repro.core.system import ScenarioConfig, ScenarioResult, TestbedScenario
 from repro.core.vehicle import VehicleNode, VehicleStats
+from repro.core.wire import (
+    SERDE_PROFILES,
+    TelemetryStructSerde,
+    decode_telemetry_block,
+    summary_struct_serde,
+    topic_serdes,
+    warning_struct_serde,
+)
 
 __all__ = [
     "AD3Detector",
@@ -45,9 +54,13 @@ __all__ = [
     "CO_DATA",
     "CentralizedDetector",
     "CollaborativeDetector",
+    "DetectionEventLog",
     "IN_DATA",
     "NEUTRAL_PRIOR",
     "OUT_DATA",
+    "SERDE_PROFILES",
+    "TelemetryBlock",
+    "TelemetryStructSerde",
     "OnlineAD3Detector",
     "OnlineLabeler",
     "PredictionSummary",
@@ -60,10 +73,14 @@ __all__ = [
     "VehicleNode",
     "VehicleStats",
     "WarningMessage",
+    "decode_telemetry_block",
     "expected_accidents",
     "nilsson_accident_ratio",
     "payload_to_record",
     "record_to_payload",
     "road_features",
     "speed_deviation_delta",
+    "summary_struct_serde",
+    "topic_serdes",
+    "warning_struct_serde",
 ]

@@ -14,6 +14,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.core.block import TelemetryBlock
 from repro.core.features import centralized_features, labels_of
 from repro.dataset.schema import NORMAL, TelemetryRecord
 from repro.ml.naive_bayes import GaussianNaiveBayes
@@ -66,6 +67,18 @@ class CentralizedDetector:
         self, records: Sequence[TelemetryRecord]
     ) -> Tuple[np.ndarray, np.ndarray]:
         return self.predict(records), self.predict_normal_proba(records)
+
+    def detect_block(
+        self, block: TelemetryBlock
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Columnar :meth:`detect` — one likelihood evaluation, no
+        per-record materialization; bit-identical output."""
+        if len(block) == 0:
+            return np.empty(0, dtype=int), np.empty(0)
+        X = centralized_features(block, encoding=self.encoding)
+        if hasattr(self.model, "predict_and_proba"):
+            return self.model.predict_and_proba(X, NORMAL)
+        return self.model.predict(X), self.model.proba_of(X, NORMAL)
 
     def __repr__(self) -> str:
         state = "fitted" if self._fitted else "unfitted"

@@ -20,8 +20,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.features import OUT_DATA, WarningMessage, payload_to_record
+from repro.core.features import IN_DATA, payload_to_record
 from repro.core.rsu import DetectionEvent, RsuConfig, RsuNode
+from repro.core.wire import decode_telemetry_block
 from repro.dataset.schema import ABNORMAL
 from repro.simkernel.simulator import Simulator
 
@@ -96,9 +97,37 @@ class CloudRelayRsu(RsuNode):
         )
 
     def _cloud_result(self, payloads, arrival_time: float) -> None:
+        now = self.sim.now
+        if self.config.columnar:
+            # ``payloads`` are raw wire bytes in columnar mode;
+            # batch-decode and score the block in one pass.
+            block = decode_telemetry_block(
+                payloads, serde=self._serde_for(IN_DATA)
+            )
+            if hasattr(self.detector, "detect_block"):
+                classes, _ = self.detector.detect_block(block)
+            else:
+                classes, _ = self.detector.detect(block.records())
+            abnormal = np.asarray(classes) == ABNORMAL
+            self.events.append_block(
+                block.car_id,
+                block.generated_at,
+                block.arrived_at,
+                now,
+                abnormal,
+                block.label,
+            )
+            for position in np.nonzero(abnormal)[0].tolist():
+                self._emit_warning(
+                    car_id=int(block.car_id[position]),
+                    road_id=int(block.road_id[position]),
+                    speed_kmh=float(block.speed_kmh[position]),
+                    generated_at=float(block.generated_at[position]),
+                    detected_at=now,
+                )
+            return
         records = [payload_to_record(p["data"]) for p in payloads]
         classes, _ = self.detector.detect(records)
-        now = self.sim.now
         for payload, record, cls in zip(payloads, records, classes):
             abnormal = int(cls) == ABNORMAL
             self.events.append(
@@ -112,18 +141,10 @@ class CloudRelayRsu(RsuNode):
                 )
             )
             if abnormal:
-                warning = WarningMessage(
+                self._emit_warning(
                     car_id=record.car_id,
                     road_id=record.road_id,
-                    detected_at=now,
                     speed_kmh=record.speed_kmh,
+                    generated_at=payload["generated_at"],
+                    detected_at=now,
                 )
-                out = dict(warning.to_payload())
-                out["generated_at"] = payload["generated_at"]
-                self.broker.produce(
-                    OUT_DATA,
-                    self._in_consumer.serde.serialize(out),
-                    key=str(record.car_id).encode(),
-                    timestamp=now,
-                )
-                self.warnings_issued += 1

@@ -13,14 +13,18 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.features import base_features, labels_of
+from repro.core.block import ROAD_TYPES, TelemetryBlock
+from repro.core.features import ROAD_TYPE_CODE, base_features, labels_of
 from repro.dataset.schema import NORMAL, TelemetryRecord
 from repro.geo.roadnet import RoadType
 from repro.ml.naive_bayes import GaussianNaiveBayes
 
 
-def road_features(records: Sequence[TelemetryRecord]) -> np.ndarray:
-    """The AD3 feature matrix: [InstSpeed, accel, Hour]."""
+def road_features(records) -> np.ndarray:
+    """The AD3 feature matrix: [InstSpeed, accel, Hour].
+
+    Accepts a record sequence or a :class:`TelemetryBlock`.
+    """
     return base_features(records)
 
 
@@ -62,6 +66,18 @@ class AD3Detector:
                     f"(car {record.car_id})"
                 )
 
+    def _check_block_road_type(self, block: TelemetryBlock) -> None:
+        expected = ROAD_TYPE_CODE[self.road_type]
+        mismatched = np.nonzero(block.road_type_code != expected)[0]
+        if mismatched.size:
+            first = int(mismatched[0])
+            other = ROAD_TYPES[block.road_type_code[first]]
+            raise ValueError(
+                f"AD3Detector for {self.road_type.value!r} received a "
+                f"record for {other.value!r} "
+                f"(car {int(block.car_id[first])})"
+            )
+
     def fit(self, records: Sequence[TelemetryRecord]) -> "AD3Detector":
         """Train on labelled records of this detector's road type."""
         if not records:
@@ -98,6 +114,23 @@ class AD3Detector:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """(classes, normal probabilities) in one pass."""
         return self.predict(records), self.predict_normal_proba(records)
+
+    def detect_block(
+        self, block: TelemetryBlock
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Columnar :meth:`detect`: score a whole micro-batch without
+        materializing records, evaluating the likelihood once.
+
+        Output is bit-identical to ``detect(block.records())``.
+        """
+        if len(block) == 0:
+            return np.empty(0, dtype=int), np.empty(0)
+        self._check_block_road_type(block)
+        X = road_features(block)
+        model = self.model
+        if hasattr(model, "predict_and_proba"):
+            return model.predict_and_proba(X, NORMAL)
+        return model.predict(X), model.proba_of(X, NORMAL)
 
     def __repr__(self) -> str:
         state = "fitted" if self._fitted else "unfitted"

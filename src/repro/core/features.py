@@ -26,51 +26,91 @@ ROAD_TYPE_CODE: Dict[RoadType, int] = {
 }
 
 
-def base_features(records: Sequence[TelemetryRecord]) -> np.ndarray:
-    """[InstSpeed, accel, Hour] matrix — the per-road feature set."""
-    return np.array(
-        [[r.speed_kmh, r.accel_ms2, float(r.hour)] for r in records]
+def _feature_columns(records) -> tuple:
+    """(speed, accel, hour, road_type_code) columns from either a
+    :class:`~repro.core.block.TelemetryBlock` or a record sequence.
+
+    This is the single source of the feature formulas: both the
+    columnar hot path and the legacy record-list path flow through it,
+    so they cannot drift apart.
+    """
+    from repro.core.block import TelemetryBlock
+
+    if isinstance(records, TelemetryBlock):
+        return (
+            records.speed_kmh,
+            records.accel_ms2,
+            records.hour.astype(np.float64),
+            records.road_type_code.astype(np.float64),
+        )
+    return (
+        np.array([r.speed_kmh for r in records]),
+        np.array([r.accel_ms2 for r in records]),
+        np.array([float(r.hour) for r in records]),
+        np.array([float(ROAD_TYPE_CODE[r.road_type]) for r in records]),
     )
 
 
-def centralized_features(
-    records: Sequence[TelemetryRecord], encoding: str = "ordinal"
-) -> np.ndarray:
+def base_features(records) -> np.ndarray:
+    """[InstSpeed, accel, Hour] matrix — the per-road feature set.
+
+    Accepts a record sequence or a
+    :class:`~repro.core.block.TelemetryBlock` (columnar, no per-record
+    work).
+    """
+    speed, accel, hour, _ = _feature_columns(records)
+    if speed.size == 0:
+        return np.empty((0, 3))
+    return np.column_stack([speed, accel, hour])
+
+
+def centralized_features(records, encoding: str = "ordinal") -> np.ndarray:
     """[InstSpeed, accel, Hour, RoadType...] — the city-scale set.
 
-    ``encoding`` controls the RoadType column(s): ``"ordinal"`` (one
-    integer code, the default) or ``"onehot"`` (one indicator per road
-    type).  Both lose to the per-road models — the centralized gap is
-    structural (shared per-class Gaussians straddle the road types'
-    speed modes), not an encoding artefact; the detector tests pin
-    this.
+    Accepts a record sequence or a
+    :class:`~repro.core.block.TelemetryBlock`.  ``encoding`` controls
+    the RoadType column(s): ``"ordinal"`` (one integer code, the
+    default) or ``"onehot"`` (one indicator per road type).  Both lose
+    to the per-road models — the centralized gap is structural (shared
+    per-class Gaussians straddle the road types' speed modes), not an
+    encoding artefact; the detector tests pin this.
     """
+    speed, accel, hour, code = _feature_columns(records)
     if encoding == "ordinal":
-        return np.array(
-            [
-                [
-                    r.speed_kmh,
-                    r.accel_ms2,
-                    float(r.hour),
-                    float(ROAD_TYPE_CODE[r.road_type]),
-                ]
-                for r in records
-            ]
-        )
+        if speed.size == 0:
+            return np.empty((0, 4))
+        return np.column_stack([speed, accel, hour, code])
     if encoding == "onehot":
         types = list(RoadType)
-        return np.array(
-            [
-                [r.speed_kmh, r.accel_ms2, float(r.hour)]
-                + [1.0 if r.road_type is t else 0.0 for t in types]
-                for r in records
-            ]
-        )
+        if speed.size == 0:
+            return np.empty((0, 3 + len(types)))
+        indicators = (
+            code[:, None] == np.arange(len(types), dtype=np.float64)
+        ).astype(np.float64)
+        return np.column_stack([speed, accel, hour, indicators])
     raise ValueError(f"unknown encoding: {encoding!r}")
 
 
-def labels_of(records: Sequence[TelemetryRecord]) -> np.ndarray:
-    """Label vector; raises if any record is unlabelled."""
+def labels_of(records) -> np.ndarray:
+    """Label vector; raises if any record is unlabelled.
+
+    Accepts a record sequence or a
+    :class:`~repro.core.block.TelemetryBlock` (whose unlabelled
+    sentinel is -1).
+    """
+    from repro.core.block import NO_LABEL, TelemetryBlock
+
+    if isinstance(records, TelemetryBlock):
+        labels = records.label.astype(np.int64)
+        missing = np.nonzero(labels == NO_LABEL)[0]
+        if missing.size:
+            first = int(missing[0])
+            raise ValueError(
+                f"record for car {int(records.car_id[first])} at "
+                f"t={float(records.timestamp[first])} has no label; "
+                f"run the Preprocessor first"
+            )
+        return labels
     labels = []
     for record in records:
         if record.label is None:

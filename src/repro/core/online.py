@@ -23,7 +23,9 @@ from typing import Deque, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.block import ROAD_TYPES, TelemetryBlock
 from repro.core.detector import road_features
+from repro.core.features import ROAD_TYPE_CODE
 from repro.dataset.schema import ABNORMAL, NORMAL, TelemetryRecord
 from repro.geo.roadnet import RoadType
 from repro.ml.naive_bayes import GaussianNaiveBayes
@@ -94,17 +96,26 @@ class OnlineLabeler:
     def ready(self) -> bool:
         return self.speed.ready and self.accel.ready
 
+    def observe_values(self, speed_kmh: float, accel_ms2: float) -> None:
+        """:meth:`observe` from raw scalars (the columnar path)."""
+        self.speed.update(speed_kmh)
+        self.accel.update(accel_ms2)
+
     def label(self, record: TelemetryRecord) -> Optional[int]:
         """Label against the current bands; None while warming up."""
+        return self.label_values(record.speed_kmh, record.accel_ms2)
+
+    def label_values(
+        self, speed_kmh: float, accel_ms2: float
+    ) -> Optional[int]:
+        """:meth:`label` from raw scalars (the columnar path)."""
         if not self.ready:
             return None
         speed_ok = (
-            abs(record.speed_kmh - self.speed.mean)
-            <= self.n_sigma * self.speed.std
+            abs(speed_kmh - self.speed.mean) <= self.n_sigma * self.speed.std
         )
         accel_ok = (
-            abs(record.accel_ms2 - self.accel.mean)
-            <= self.n_sigma * self.accel.std
+            abs(accel_ms2 - self.accel.mean) <= self.n_sigma * self.accel.std
         )
         return NORMAL if (speed_ok and accel_ok) else ABNORMAL
 
@@ -190,6 +201,53 @@ class OnlineAD3Detector:
             if self._since_refit >= self.refit_every or not self._model_ready:
                 self._refit_from_buffer()
 
+    def observe_block(self, block: TelemetryBlock) -> None:
+        """Columnar :meth:`observe` — no record materialization.
+
+        The labelling profiles are an exponentially-weighted recurrence
+        (each label depends on every prior observation), so the scan
+        itself stays sequential; the win is skipping the per-record
+        dataclass round trip and batching the feature rows.  State
+        after this call is bit-identical to
+        ``observe(block.records())``.
+        """
+        n = len(block)
+        if n == 0:
+            return
+        expected = ROAD_TYPE_CODE[self.road_type]
+        mismatched = np.nonzero(block.road_type_code != expected)[0]
+        if mismatched.size:
+            other = ROAD_TYPES[block.road_type_code[int(mismatched[0])]]
+            raise ValueError(
+                f"online detector for {self.road_type.value!r} got a "
+                f"{other.value!r} record"
+            )
+        speeds = block.speed_kmh.tolist()
+        accels = block.accel_ms2.tolist()
+        hours = block.hour.tolist()
+        labeler = self.labeler
+        features = []
+        labels = []
+        for speed, accel, hour in zip(speeds, accels, hours):
+            label = labeler.label_values(speed, accel)
+            labeler.observe_values(speed, accel)
+            self.observations += 1
+            if label is None:
+                continue
+            row = np.array([speed, accel, float(hour)])
+            features.append(row)
+            labels.append(label)
+            if self.mode == "window":
+                self._buffer.append((row, label))
+        if not features:
+            return
+        if self.mode == "cumulative":
+            self._partial_fit(np.vstack(features), np.array(labels))
+        else:
+            self._since_refit += len(features)
+            if self._since_refit >= self.refit_every or not self._model_ready:
+                self._refit_from_buffer()
+
     def _partial_fit(self, X: np.ndarray, y: np.ndarray) -> None:
         self.model.partial_fit(X, y, classes=[ABNORMAL, NORMAL])
         counts = self.model._counts
@@ -249,6 +307,22 @@ class OnlineAD3Detector:
                 np.ones(len(records)),
             )
         return self.predict(records), self.predict_normal_proba(records)
+
+    def detect_block(
+        self, block: TelemetryBlock
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Columnar :meth:`detect` — bit-identical output, one
+        likelihood evaluation, same warm-up semantics."""
+        n = len(block)
+        if n == 0:
+            return np.empty(0, dtype=int), np.empty(0)
+        if not self._model_ready:
+            return np.full(n, NORMAL, dtype=int), np.ones(n)
+        X = road_features(block)
+        model = self.model
+        if hasattr(model, "predict_and_proba"):
+            return model.predict_and_proba(X, NORMAL)
+        return model.predict(X), model.proba_of(X, NORMAL)
 
     def __repr__(self) -> str:
         return (

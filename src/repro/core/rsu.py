@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.block import NO_LABEL, DetectionEventLog, TelemetryBlock
 from repro.core.centralized import CentralizedDetector
 from repro.core.collaborative import CollaborativeDetector
 from repro.core.detector import AD3Detector
@@ -26,12 +27,14 @@ from repro.core.features import (
     WarningMessage,
     payload_to_record,
 )
+from repro.core.wire import decode_telemetry_block
 from repro.dataset.schema import ABNORMAL
 from repro.microbatch.context import ProcessingModel, StreamingContext
 from repro.net.link import WiredLink
 from repro.simkernel.simulator import Simulator
 from repro.streaming.broker import Broker
 from repro.streaming.consumer import Consumer
+from repro.streaming.serde import JsonSerde, Serde
 
 
 @dataclass
@@ -49,6 +52,15 @@ class RsuConfig:
     #: values debounce flicker at the cost of detection delay ("less
     #: disturbance to other drivers with false warnings", Sec. VI-D4).
     warning_threshold: int = 1
+    #: Run the columnar micro-batch pipeline (poll raw bytes, decode
+    #: the whole batch into a :class:`TelemetryBlock`, score and
+    #: bookkeep on arrays).  ``False`` keeps the original per-record
+    #: loop; both produce bit-identical events and warnings — the
+    #: golden-equivalence tests pin this.
+    columnar: bool = True
+    #: Per-topic serde overrides (e.g. :func:`repro.core.wire.topic_serdes`
+    #: for the binary profile); topics not listed use compact JSON.
+    serdes: Optional[Dict[str, Serde]] = None
 
     def __post_init__(self) -> None:
         if self.warning_threshold < 1:
@@ -111,9 +123,19 @@ class RsuNode:
         self.broker = Broker(name, clock=lambda: sim.now)
         for topic in (IN_DATA, OUT_DATA, CO_DATA):
             self.broker.create_topic(topic, self.config.topic_partitions)
-        self._in_consumer = Consumer(self.broker, group=f"{name}-pipeline")
+        self._default_serde = JsonSerde()
+        self._serdes: Dict[str, Serde] = dict(self.config.serdes or {})
+        self._in_consumer = Consumer(
+            self.broker,
+            group=f"{name}-pipeline",
+            serde=self._serde_for(IN_DATA),
+        )
         self._in_consumer.subscribe([IN_DATA])
-        self._co_consumer = Consumer(self.broker, group=f"{name}-collab")
+        self._co_consumer = Consumer(
+            self.broker,
+            group=f"{name}-collab",
+            serde=self._serde_for(CO_DATA),
+        )
         self._co_consumer.subscribe([CO_DATA])
         jitter_source = None
         if jitter_rng is not None:
@@ -124,6 +146,7 @@ class RsuNode:
             interval_s=self.config.batch_interval_s,
             processing_model=self.config.processing_model,
             jitter_source=jitter_source,
+            raw=self.config.columnar,
         )
         self.context.stream.foreach_batch(self._on_batch)
         # Collaboration state
@@ -134,7 +157,7 @@ class RsuNode:
         self._links: Dict[str, WiredLink] = {}
         self._neighbors: Dict[str, "RsuNode"] = {}
         # Measurements
-        self.events: List[DetectionEvent] = []
+        self.events: DetectionEventLog = DetectionEventLog()
         self.warnings_issued = 0
         self.summaries_sent = 0
         self.summaries_received = 0
@@ -177,6 +200,10 @@ class RsuNode:
     # ------------------------------------------------------------------
     # Pipeline
     # ------------------------------------------------------------------
+    def _serde_for(self, topic: str) -> Serde:
+        """The serde wired to ``topic`` (compact JSON by default)."""
+        return self._serdes.get(topic, self._default_serde)
+
     def _drain_co_data(self) -> None:
         """Fold newly arrived CO-DATA summaries into detection state."""
         for record in self._co_consumer.poll():
@@ -196,6 +223,13 @@ class RsuNode:
         self._drain_co_data()
         if batch.is_empty():
             return
+        if self.config.columnar:
+            self._on_batch_block(batch, completion_time)
+        else:
+            self._on_batch_records(batch, completion_time)
+
+    def _on_batch_records(self, batch, completion_time: float) -> None:
+        """The original per-record loop (``columnar=False``)."""
         payloads = batch.collect()
         records = [payload_to_record(p["data"]) for p in payloads]
         if isinstance(self.detector, CollaborativeDetector):
@@ -232,21 +266,128 @@ class RsuNode:
                 self._abnormal_streak[record.car_id]
                 >= self.config.warning_threshold
             ):
-                warning = WarningMessage(
+                self._emit_warning(
                     car_id=record.car_id,
                     road_id=record.road_id,
-                    detected_at=completion_time,
                     speed_kmh=record.speed_kmh,
+                    generated_at=payload["generated_at"],
+                    detected_at=completion_time,
                 )
-                out = dict(warning.to_payload())
-                out["generated_at"] = payload["generated_at"]
-                self.broker.produce(
-                    OUT_DATA,
-                    self._in_consumer.serde.serialize(out),
-                    key=str(record.car_id).encode(),
-                    timestamp=completion_time,
+
+    def _on_batch_block(self, batch, completion_time: float) -> None:
+        """The columnar hot path: the batch carries raw wire bytes,
+        decoded into one :class:`TelemetryBlock` shared by detection,
+        bookkeeping, and the event log."""
+        block = decode_telemetry_block(
+            batch.collect(), serde=self._serde_for(IN_DATA)
+        )
+        detector = self.detector
+        if isinstance(detector, CollaborativeDetector):
+            classes, probs = detector.detect_block(block, self.summaries)
+        elif hasattr(detector, "detect_block"):
+            classes, probs = detector.detect_block(block)
+        else:
+            classes, probs = detector.detect(block.records())
+        if hasattr(detector, "observe_block"):
+            detector.observe_block(block)
+        elif hasattr(detector, "observe"):
+            detector.observe(block.records())
+        abnormal = np.asarray(classes) == ABNORMAL
+        self.events.append_block(
+            block.car_id,
+            block.generated_at,
+            block.arrived_at,
+            completion_time,
+            abnormal,
+            block.label,
+        )
+        self._bookkeep_block(block, classes, probs, abnormal, completion_time)
+
+    def _bookkeep_block(
+        self,
+        block: TelemetryBlock,
+        classes: np.ndarray,
+        probs: np.ndarray,
+        abnormal: np.ndarray,
+        completion_time: float,
+    ) -> None:
+        """Per-car history / streak / warning state over arrays.
+
+        Grouping uses a stable argsort, so within-car record order —
+        and therefore the streak recurrence and warning firing order —
+        matches the per-record loop exactly.
+        """
+        car_ids = block.car_id
+        order = np.argsort(car_ids, kind="stable")
+        sorted_cars = car_ids[order]
+        starts = np.nonzero(np.diff(sorted_cars))[0] + 1
+        groups = np.split(order, starts)
+        limit = self.config.history_limit
+        threshold = self.config.warning_threshold
+        warn_positions: List[int] = []
+        for group in groups:
+            car = int(car_ids[group[0]])
+            history = self._history.setdefault(car, [])
+            history.extend(probs[group].tolist())
+            if len(history) > limit:
+                del history[:-limit]
+            self._last_class[car] = int(classes[group[-1]])
+            flags = abnormal[group]
+            if not flags.any():
+                self._abnormal_streak[car] = 0
+                continue
+            # Streak recurrence, vectorized: distance to the previous
+            # normal record, plus the carried-in streak before the
+            # first reset.
+            carry = self._abnormal_streak.get(car, 0)
+            n = len(group)
+            idx = np.arange(n)
+            last_reset = np.maximum.accumulate(np.where(~flags, idx, -1))
+            streaks = np.where(flags, idx - last_reset, 0)
+            if carry:
+                streaks = np.where(
+                    flags & (last_reset == -1), streaks + carry, streaks
                 )
-                self.warnings_issued += 1
+            self._abnormal_streak[car] = int(streaks[-1])
+            warn_positions.extend(
+                group[np.nonzero(flags & (streaks >= threshold))[0]].tolist()
+            )
+        if not warn_positions:
+            return
+        warn_positions.sort()  # original record order across cars
+        for position in warn_positions:
+            self._emit_warning(
+                car_id=int(car_ids[position]),
+                road_id=int(block.road_id[position]),
+                speed_kmh=float(block.speed_kmh[position]),
+                generated_at=float(block.generated_at[position]),
+                detected_at=completion_time,
+            )
+
+    def _emit_warning(
+        self,
+        car_id: int,
+        road_id: int,
+        speed_kmh: float,
+        generated_at: float,
+        detected_at: float,
+    ) -> None:
+        """Produce one warning into OUT-DATA with the topic's serde."""
+        warning = WarningMessage(
+            car_id=car_id,
+            road_id=road_id,
+            detected_at=detected_at,
+            speed_kmh=speed_kmh,
+        )
+        out = dict(warning.to_payload())
+        out["generated_at"] = generated_at
+        self.broker.produce(
+            OUT_DATA,
+            self._serde_for(OUT_DATA).serialize(out),
+            key=str(car_id).encode(),
+            timestamp=detected_at,
+        )
+        self.warnings_issued += 1
 
     # ------------------------------------------------------------------
     # Collaboration (handover)
@@ -294,7 +435,10 @@ class RsuNode:
             return False
         target = self._neighbors[target_name]
         link = self._links[target_name]
-        payload = self._in_consumer.serde.serialize(summary.to_payload())
+        # Serialize with the CO-DATA serde: the IN-DATA serde may be a
+        # telemetry-specific binary format the target's collab consumer
+        # cannot read.
+        payload = self._serde_for(CO_DATA).serialize(summary.to_payload())
 
         def deliver(at_time: float, data=payload) -> None:
             target.broker.produce(CO_DATA, data, timestamp=at_time)
@@ -322,11 +466,12 @@ class RsuNode:
         from repro.dataset.schema import ABNORMAL, NORMAL
         from repro.ml.metrics import evaluate_binary
 
-        labelled = [e for e in self.events if e.true_label is not None]
-        if not labelled:
+        labels = self.events.true_labels()
+        mask = labels != NO_LABEL
+        if not mask.any():
             return None
-        y_true = [e.true_label for e in labelled]
-        y_pred = [ABNORMAL if e.abnormal else NORMAL for e in labelled]
+        y_true = labels[mask].astype(np.int64)
+        y_pred = np.where(self.events.abnormal()[mask], ABNORMAL, NORMAL)
         return evaluate_binary(y_true, y_pred)
 
     def bandwidth_in_bps(self, elapsed_s: float) -> float:

@@ -21,6 +21,7 @@ from repro.core.collaborative import CollaborativeDetector, summaries_from_upstr
 from repro.core.detector import AD3Detector
 from repro.core.rsu import RsuConfig, RsuNode
 from repro.core.vehicle import VehicleNode, VehicleStats
+from repro.core.wire import SERDE_PROFILES, topic_serdes
 from repro.dataset.generator import DatasetGenerator, GeneratorConfig
 from repro.dataset.preprocess import Preprocessor
 from repro.dataset.schema import TelemetryRecord
@@ -52,6 +53,17 @@ class ScenarioConfig:
     handover_fraction: float = 0.0
     handover_at_s: Optional[float] = None
     processing_model: ProcessingModel = field(default_factory=ProcessingModel)
+    #: Wire format for the three topics: ``"json"`` (compact JSON, the
+    #: seed behaviour) or ``"struct"`` (fixed-layout binary: telemetry
+    #: packets shrink to less than half and decode an order of
+    #: magnitude faster).
+    serde_profile: str = "json"
+    #: Vehicle warning consumption: ``"poll"`` (paper: every 10 ms) or
+    #: ``"notify"`` (wake on produce; not real-Kafka-faithful).
+    dissemination: str = "poll"
+    #: Columnar micro-batch pipeline at the RSUs (bit-identical
+    #: results; ``False`` forces the original per-record loop).
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if self.n_vehicles < 1:
@@ -62,6 +74,15 @@ class ScenarioConfig:
             raise ValueError("handover_fraction must be in [0, 1]")
         if not 0.0 <= self.loss_prob < 1.0:
             raise ValueError("loss_prob must be in [0, 1)")
+        if self.serde_profile not in SERDE_PROFILES:
+            raise ValueError(
+                f"unknown serde_profile: {self.serde_profile!r}; "
+                f"choose from {SERDE_PROFILES}"
+            )
+        if self.dissemination not in ("poll", "notify"):
+            raise ValueError(
+                f"unknown dissemination mode: {self.dissemination!r}"
+            )
 
 
 @dataclass
@@ -204,15 +225,20 @@ class TestbedScenario:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    def _rsu_config(self) -> RsuConfig:
+        return RsuConfig(
+            batch_interval_s=self.config.batch_interval_s,
+            processing_model=self.config.processing_model,
+            columnar=self.config.columnar,
+            serdes=topic_serdes(self.config.serde_profile),
+        )
+
     def add_rsu(self, name: str, detector) -> RsuNode:
         rsu = RsuNode(
             self.sim,
             name,
             detector,
-            config=RsuConfig(
-                batch_interval_s=self.config.batch_interval_s,
-                processing_model=self.config.processing_model,
-            ),
+            config=self._rsu_config(),
             jitter_rng=self.rng.stream(f"jitter.{name}"),
         )
         self.rsus[name] = rsu
@@ -266,6 +292,8 @@ class TestbedScenario:
                 update_rate_hz=self.config.update_rate_hz,
                 poll_interval_s=self.config.poll_interval_s,
                 rng=self.rng.stream(f"vehicle.{car_id}"),
+                serdes=topic_serdes(self.config.serde_profile),
+                dissemination=self.config.dissemination,
             )
             self.vehicles.append(vehicle)
             created.append(vehicle)
@@ -378,10 +406,7 @@ class TestbedScenario:
             name,
             detector,
             cloud=cloud,
-            config=RsuConfig(
-                batch_interval_s=config.batch_interval_s,
-                processing_model=config.processing_model,
-            ),
+            config=scenario._rsu_config(),
             jitter_rng=scenario.rng.stream(f"jitter.{name}"),
         )
         scenario.rsus[name] = rsu
@@ -532,8 +557,8 @@ class TestbedScenario:
 
         rsu_metrics = {}
         for name, rsu in self.rsus.items():
-            tx = [e.tx_s for e in rsu.events]
-            queuing = [e.queuing_s for e in rsu.events]
+            tx = rsu.events.tx_s()
+            queuing = rsu.events.queuing_s()
             rsu_metrics[name] = RsuMetrics(
                 name=name,
                 mean_processing_ms=rsu.mean_processing_ms(),
@@ -542,8 +567,10 @@ class TestbedScenario:
                 warnings_issued=rsu.warnings_issued,
                 summaries_sent=rsu.summaries_sent,
                 summaries_received=rsu.summaries_received,
-                mean_tx_ms=float(np.mean(tx)) * 1e3 if tx else 0.0,
-                mean_queuing_ms=float(np.mean(queuing)) * 1e3 if queuing else 0.0,
+                mean_tx_ms=float(np.mean(tx)) * 1e3 if tx.size else 0.0,
+                mean_queuing_ms=(
+                    float(np.mean(queuing)) * 1e3 if queuing.size else 0.0
+                ),
                 detection=rsu.detection_report(),
             )
         return ScenarioResult(

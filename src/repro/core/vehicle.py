@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from repro.net.dsrc import DsrcChannel
 from repro.net.htb import HtbShaper
 from repro.simkernel.simulator import Simulator
 from repro.streaming.consumer import Consumer
-from repro.streaming.serde import JsonSerde
+from repro.streaming.serde import JsonSerde, Serde
 
 
 @dataclass
@@ -67,6 +67,16 @@ class VehicleNode:
         ``10 + 7.2 +- 4.4 ms``).
     rng:
         Seeded stream for consumer-processing jitter.
+    serdes:
+        Per-topic serde overrides, matching the RSU's
+        (:func:`repro.core.wire.topic_serdes`); compact JSON when
+        absent.
+    dissemination:
+        ``"poll"`` (the paper's loop: pull OUT-DATA every 10 ms) or
+        ``"notify"`` (wake on the broker's produce notification —
+        lower dissemination latency, but a push channel real Kafka
+        does not offer; keep ``"poll"`` when reproducing the paper's
+        latency numbers).
     """
 
     def __init__(
@@ -82,11 +92,15 @@ class VehicleNode:
         consumer_processing_s: float = 7.2e-3,
         consumer_jitter_s: float = 4.4e-3,
         rng: Optional[np.random.Generator] = None,
+        serdes: Optional[Dict[str, Serde]] = None,
+        dissemination: str = "poll",
     ) -> None:
         if update_rate_hz <= 0:
             raise ValueError("update rate must be positive")
         if poll_interval_s <= 0:
             raise ValueError("poll interval must be positive")
+        if dissemination not in ("poll", "notify"):
+            raise ValueError(f"unknown dissemination mode: {dissemination!r}")
         self.sim = sim
         self.car_id = car_id
         self._records = itertools.cycle(list(records))
@@ -98,25 +112,61 @@ class VehicleNode:
         self.consumer_processing_s = consumer_processing_s
         self.consumer_jitter_s = consumer_jitter_s
         self._rng = rng or np.random.default_rng(car_id)
-        self.serde = JsonSerde()
+        self._serdes: Dict[str, Serde] = dict(serdes or {})
+        default = JsonSerde()
+        #: Serde for the telemetry envelopes this vehicle produces.
+        self.serde = self._serdes.get(IN_DATA, default)
+        self._out_serde = self._serdes.get(OUT_DATA, default)
+        self.dissemination = dissemination
         self.stats = VehicleStats()
         self._consumer: Optional[Consumer] = None
         self._cancel_produce = None
         self._cancel_poll = None
+        self._cancel_notify = None
+        self._wakeup_pending = False
+        self._started = False
         self._attach_consumer()
 
     # ------------------------------------------------------------------
     def _attach_consumer(self) -> None:
         self._consumer = Consumer(
-            self.rsu.broker, group=None, client_id=f"vehicle-{self.car_id}"
+            self.rsu.broker,
+            group=None,
+            serde=self._out_serde,
+            client_id=f"vehicle-{self.car_id}",
         )
         self._consumer.subscribe([OUT_DATA])
         self._consumer.seek_to_end()
+        if self._cancel_notify is not None:
+            self._cancel_notify()
+            self._cancel_notify = None
+        if self.dissemination == "notify" and self._started:
+            self._subscribe_notify()
+
+    def _subscribe_notify(self) -> None:
+        self._cancel_notify = self.rsu.broker.subscribe_notify(
+            OUT_DATA, self._on_out_data_produced
+        )
+
+    def _on_out_data_produced(self, metadata) -> None:
+        # Coalesce: many warnings produced at the same instant (one
+        # micro-batch) wake the consumer once.
+        if self._wakeup_pending:
+            return
+        self._wakeup_pending = True
+        self.sim.after(
+            0.0, self._wakeup_poll, label=f"vehicle-{self.car_id}-wakeup"
+        )
+
+    def _wakeup_poll(self) -> None:
+        self._wakeup_pending = False
+        self._poll_warnings()
 
     def start(self, until: Optional[float] = None) -> None:
-        """Begin the produce and poll loops."""
+        """Begin the produce loop and the warning consumption."""
         if self._cancel_produce is not None:
             raise RuntimeError(f"vehicle {self.car_id} already started")
+        self._started = True
         # Desynchronise vehicles: each starts at a random phase within
         # its first update period, as real beacons are unaligned.
         phase = float(self._rng.uniform(0.0, self.update_period_s))
@@ -127,6 +177,9 @@ class VehicleNode:
             until=until,
             label=f"vehicle-{self.car_id}-produce",
         )
+        if self.dissemination == "notify":
+            self._subscribe_notify()
+            return
         self._cancel_poll = self.sim.every(
             self.poll_interval_s,
             self._poll_warnings,
@@ -136,12 +189,16 @@ class VehicleNode:
         )
 
     def stop(self) -> None:
+        self._started = False
         if self._cancel_produce is not None:
             self._cancel_produce()
             self._cancel_produce = None
         if self._cancel_poll is not None:
             self._cancel_poll()
             self._cancel_poll = None
+        if self._cancel_notify is not None:
+            self._cancel_notify()
+            self._cancel_notify = None
 
     # ------------------------------------------------------------------
     def migrate(self, new_rsu, new_channel: DsrcChannel) -> None:

@@ -78,6 +78,11 @@ class StreamingContext:
         Zero-argument callable in [-1, 1] driving processing jitter;
         inject a seeded RNG for reproducibility.  ``None`` disables
         jitter.
+    raw:
+        Poll without deserializing: batches then carry the raw wire
+        bytes, and the sink is expected to batch-decode them (the
+        columnar RSU path does, via
+        :func:`repro.core.wire.decode_telemetry_block`).
     """
 
     def __init__(
@@ -87,6 +92,7 @@ class StreamingContext:
         interval_s: float = 0.050,
         processing_model: Optional[ProcessingModel] = None,
         jitter_source: Optional[Callable[[], float]] = None,
+        raw: bool = False,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval_s must be positive: {interval_s}")
@@ -95,6 +101,7 @@ class StreamingContext:
         self.interval_s = interval_s
         self.processing_model = processing_model or ProcessingModel()
         self.jitter_source = jitter_source
+        self.raw = raw
         self.stream = DStream()
         self.metrics: List[BatchMetrics] = []
         self._stop: Optional[Callable[[], None]] = None
@@ -116,7 +123,7 @@ class StreamingContext:
     # ------------------------------------------------------------------
     def _tick(self) -> None:
         batch_time = self.sim.now
-        records = self.consumer.poll()
+        records = self.consumer.poll(deserialize=not self.raw)
         batch = Batch([r.value for r in records], batch_time=batch_time)
         jitter = self.jitter_source() if self.jitter_source else 0.0
         duration = self.processing_model.duration(len(batch), jitter)

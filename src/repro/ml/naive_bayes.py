@@ -155,17 +155,18 @@ class GaussianNaiveBayes:
         return self
 
     def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
-        # log N(x; mu, var) summed over features, plus log prior.
+        # log N(x; mu, var) summed over features, plus log prior —
+        # broadcast over classes in one shot: (n, 1, f) against (c, f)
+        # yields (n, c, f), reduced over the (contiguous) feature axis.
+        # Bit-identical to the per-class loop it replaced: the same
+        # elementary operations run per (row, class, feature) and the
+        # innermost reduction order is unchanged.
         smoothed = self.var_ + getattr(self, "_epsilon", 0.0)
-        jll = np.empty((X.shape[0], len(self.classes_)))
-        for index in range(len(self.classes_)):
-            mean = self.theta_[index]
-            var = smoothed[index]
-            log_pdf = -0.5 * (
-                np.log(2.0 * np.pi * var) + (X - mean) ** 2 / var
-            ).sum(axis=1)
-            jll[:, index] = self.class_log_prior_[index] + log_pdf
-        return jll
+        diff = X[:, None, :] - self.theta_
+        log_pdf = -0.5 * (
+            np.log(2.0 * np.pi * smoothed) + diff**2 / smoothed
+        ).sum(axis=2)
+        return self.class_log_prior_ + log_pdf
 
     def predict_log_proba(self, X) -> np.ndarray:
         check_fitted(self)
@@ -186,6 +187,28 @@ class GaussianNaiveBayes:
         X = check_X(X, self.n_features_)
         jll = self._joint_log_likelihood(X)
         return self.classes_[np.argmax(jll, axis=1)]
+
+    def predict_and_proba(self, X, cls) -> "tuple":
+        """(classes, P(cls)) from a single likelihood evaluation.
+
+        ``predict(X)`` followed by ``proba_of(X, cls)`` computes the
+        joint log-likelihood twice; the streaming hot path calls this
+        instead.  Values are bit-identical to the two separate calls
+        (same ``jll``, same argmax, same log-softmax).
+        """
+        check_fitted(self)
+        X = check_X(X, self.n_features_)
+        matches = np.nonzero(self.classes_ == cls)[0]
+        if len(matches) == 0:
+            raise ValueError(f"class {cls!r} not seen during fit")
+        jll = self._joint_log_likelihood(X)
+        classes = self.classes_[np.argmax(jll, axis=1)]
+        max_jll = jll.max(axis=1, keepdims=True)
+        log_norm = max_jll + np.log(
+            np.exp(jll - max_jll).sum(axis=1, keepdims=True)
+        )
+        proba = np.exp(jll - log_norm)[:, matches[0]]
+        return classes, proba
 
     def proba_of(self, X, cls) -> np.ndarray:
         """Posterior probability column for class ``cls``.

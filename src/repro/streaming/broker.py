@@ -45,6 +45,9 @@ class Broker:
         # (group, topic, partition) -> committed offset
         self._committed: Dict[Tuple[str, str, int], int] = {}
         self.coordinator = GroupCoordinator()
+        # topic -> list of callbacks fired on every produce (wakeup
+        # dissemination; see subscribe_notify).
+        self._notify: Dict[str, List[Callable[[RecordMetadata], None]]] = {}
         self.bytes_in = 0
         self.bytes_out = 0
         self.records_in = 0
@@ -106,13 +109,42 @@ class Broker:
         size = len(value) + (len(key) if key else 0)
         self.bytes_in += size
         self.records_in += 1
-        return RecordMetadata(
+        metadata = RecordMetadata(
             topic=topic_name,
             partition=index,
             offset=offset,
             timestamp=record_time,
             serialized_size=size,
         )
+        callbacks = self._notify.get(topic_name)
+        if callbacks:
+            for callback in list(callbacks):
+                callback(metadata)
+        return metadata
+
+    def subscribe_notify(
+        self, topic_name: str, callback: Callable[[RecordMetadata], None]
+    ) -> Callable[[], None]:
+        """Invoke ``callback(metadata)`` on every produce to the topic.
+
+        This is the wakeup-on-produce hook behind the vehicles'
+        ``dissemination="notify"`` mode: instead of polling ``OUT-DATA``
+        every 10 ms (the paper's loop), a consumer can sleep until the
+        broker tells it a record landed.  Returns a zero-argument
+        cancel function.  Real Kafka has no such push channel — keep
+        polling mode when reproducing the paper's latency numbers.
+        """
+        self.topic(topic_name)  # validate existence
+        callbacks = self._notify.setdefault(topic_name, [])
+        callbacks.append(callback)
+
+        def cancel() -> None:
+            try:
+                callbacks.remove(callback)
+            except ValueError:
+                pass
+
+        return cancel
 
     def fetch(
         self,

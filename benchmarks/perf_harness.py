@@ -39,7 +39,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core.detector import AD3Detector  # noqa: E402
 from repro.core.features import IN_DATA, record_to_payload  # noqa: E402
 from repro.core.rsu import RsuConfig, RsuNode  # noqa: E402
-from repro.core.system import ScenarioConfig, TestbedScenario  # noqa: E402
+from repro.core.system import TestbedScenario  # noqa: E402
 from repro.core.wire import (  # noqa: E402
     TelemetryStructSerde,
     decode_telemetry_block,
@@ -233,15 +233,16 @@ def bench_scenarios(dataset, duration_s, n_vehicles):
         (True, "struct"),
     ):
         key = f"corridor[{'columnar' if columnar else 'legacy'}+{profile}]"
-        config = ScenarioConfig(
-            n_vehicles=n_vehicles,
-            duration_s=duration_s,
-            seed=7,
-            handover_fraction=0.5,
-            columnar=columnar,
-            serde_profile=profile,
+        scenario = (
+            TestbedScenario.builder()
+            .vehicles(n_vehicles)
+            .duration(duration_s)
+            .seed(7)
+            .handover(0.5)
+            .columnar(columnar)
+            .serde(profile)
+            .corridor(motorways=2, dataset=dataset)
         )
-        scenario = TestbedScenario.corridor(config, motorways=2, dataset=dataset)
         start = time.perf_counter()
         result = scenario.run()
         wall = time.perf_counter() - start

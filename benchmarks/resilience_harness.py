@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Resilience harness: chaos runs with pinned recovery bounds.
+
+Runs the corridor under injected faults (see
+:mod:`repro.experiments.resilience`) and checks the acceptance bounds
+on the actual pipeline code:
+
+- a mid-run broker crash + restart under 20 % DSRC burst loss
+  (the ``chaos`` profile) recovers within **2 simulated seconds**
+  (crash to first post-restart detection);
+- **zero duplicate detections** — producer retries through the outage
+  and the ack-loss window are deduplicated by broker-side sequence
+  numbers;
+- **zero retry-buffer evictions** — the bounded in-flight buffer is
+  large enough for the outage;
+- warning delivery stays within 80 % of a fault-free baseline run of
+  the same spec.
+
+Writes ``BENCH_2.json`` and exits non-zero if any bound is violated.
+Run ``python benchmarks/resilience_harness.py --smoke`` for the quick
+CI check (chaos profile only, smaller corridor).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.system import default_training_dataset  # noqa: E402
+from repro.experiments.resilience import resilience_corridor  # noqa: E402
+
+#: Acceptance bounds from the issue.
+MAX_RECOVERY_S = 2.0
+MIN_DELIVERY_RATIO = 0.80
+
+SMOKE_PROFILES = ("chaos",)
+FULL_PROFILES = ("chaos", "broker_crash", "rsu_kill", "partition", "burst_loss")
+
+
+def check_bounds(name: str, report) -> list:
+    """Bound violations for one profile run (empty = pass)."""
+    failures = []
+    recovery = report.max_recovery_time_s
+    if recovery is not None and recovery > MAX_RECOVERY_S:
+        failures.append(
+            f"{name}: recovery {recovery:.3f}s > {MAX_RECOVERY_S}s"
+        )
+    if report.duplicate_detections != 0:
+        failures.append(
+            f"{name}: {report.duplicate_detections} duplicate detections"
+        )
+    if report.records_dropped != 0:
+        failures.append(
+            f"{name}: {report.records_dropped} records evicted from "
+            f"retry buffers"
+        )
+    ratio = report.warning_delivery_ratio
+    if ratio is not None and ratio < MIN_DELIVERY_RATIO:
+        failures.append(
+            f"{name}: warning delivery {ratio:.1%} < "
+            f"{MIN_DELIVERY_RATIO:.0%} of baseline"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="chaos profile only, smaller corridor (for CI)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_2.json",
+        help="output path (default: repo-root BENCH_2.json)",
+    )
+    args = parser.parse_args(argv)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+
+    if args.smoke:
+        profiles = SMOKE_PROFILES
+        n_vehicles, duration_s, motorways = 8, 4.0, 2
+    else:
+        profiles = FULL_PROFILES
+        n_vehicles, duration_s, motorways = 16, 6.0, 2
+
+    print(f"resilience harness ({'smoke' if args.smoke else 'full'} mode)")
+    print("building workload (corridor dataset + fitted detectors)...")
+    dataset = default_training_dataset(seed=11, n_cars=60)
+
+    runs = {}
+    failures = []
+    for name in profiles:
+        print(f"\nprofile {name!r}: corridor x{motorways}, "
+              f"{n_vehicles} vehicles/RSU, {duration_s}s...")
+        start = time.perf_counter()
+        report = resilience_corridor(
+            profile_name=name,
+            n_vehicles=n_vehicles,
+            duration_s=duration_s,
+            motorways=motorways,
+            dataset=dataset,
+        )
+        wall = time.perf_counter() - start
+        print(report.format_report())
+        failures.extend(check_bounds(name, report))
+        runs[name] = {
+            "wall_s": round(wall, 3),
+            "recovery_time_s": {
+                k: round(v, 4) for k, v in report.recovery_time_s.items()
+            },
+            "records_lost": report.records_lost,
+            "records_retried": report.records_retried,
+            "records_dropped": report.records_dropped,
+            "duplicates_rejected": report.duplicates_rejected,
+            "duplicate_detections": report.duplicate_detections,
+            "broker_crashes": report.broker_crashes,
+            "summaries_lost": report.summaries_lost,
+            "degraded_batches": report.degraded_batches,
+            "warnings_delivered": report.warnings_delivered,
+            "baseline_warnings_delivered": report.baseline_warnings_delivered,
+            "warning_delivery_ratio": (
+                None
+                if report.warning_delivery_ratio is None
+                else round(report.warning_delivery_ratio, 4)
+            ),
+            "fault_log": [
+                {
+                    "time_s": e.time_s,
+                    "kind": e.kind,
+                    "target": e.target,
+                    "detail": e.detail,
+                }
+                for e in report.fault_log
+            ],
+        }
+
+    payload = {
+        "mode": "smoke" if args.smoke else "full",
+        "bounds": {
+            "max_recovery_s": MAX_RECOVERY_S,
+            "min_delivery_ratio": MIN_DELIVERY_RATIO,
+            "max_duplicate_detections": 0,
+            "max_records_dropped": 0,
+        },
+        "runs": runs,
+        "pass": not failures,
+        "failures": failures,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if failures:
+        print("\nBOUND VIOLATIONS:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("all resilience bounds hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,17 +12,15 @@ regime, while the edge pipeline stays under 50 ms on the same
 workload.
 """
 
-from repro.core import ScenarioConfig, TestbedScenario
+from repro.core import TestbedScenario
 
 
 def test_cloud_offload_comparison(benchmark, scenario_training_dataset):
     def run():
-        config = ScenarioConfig(n_vehicles=64, duration_s=4.0, seed=7)
-        edge = TestbedScenario.single_rsu(
-            config, dataset=scenario_training_dataset
-        ).run()
-        cloud = TestbedScenario.single_rsu_cloud(
-            config, dataset=scenario_training_dataset
+        builder = TestbedScenario.builder().vehicles(64).duration(4.0).seed(7)
+        edge = builder.single_rsu(dataset=scenario_training_dataset).run()
+        cloud = builder.single_rsu_cloud(
+            dataset=scenario_training_dataset
         ).run()
         return edge, cloud
 

@@ -16,7 +16,7 @@ Claims asserted:
 
 import pytest
 
-from repro.core import ScenarioConfig, TestbedScenario
+from repro.core import TestbedScenario
 from repro.core.system import default_training_dataset
 
 
@@ -31,17 +31,17 @@ def test_fig7_online_system(benchmark, online_dataset):
     def run():
         results = {}
         for kind in ("cad3", "ad3"):
-            config = ScenarioConfig(
-                n_vehicles=48,
-                duration_s=8.0,
-                seed=7,
-                handover_fraction=0.5,
-            )
-            scenario = TestbedScenario.corridor(
-                config,
-                motorways=4,
-                dataset=online_dataset,
-                link_detector_kind=kind,
+            scenario = (
+                TestbedScenario.builder()
+                .vehicles(48)
+                .duration(8.0)
+                .seed(7)
+                .handover(0.5)
+                .corridor(
+                    motorways=4,
+                    dataset=online_dataset,
+                    link_detector_kind=kind,
+                )
             )
             results[kind] = scenario.run()
         return results

@@ -1,24 +1,35 @@
 #!/usr/bin/env python
-"""Edge resilience: RSU failure and vehicle re-homing.
+"""Edge resilience: RSU failure, vehicle re-homing, state replay.
 
 Edge computing "delivers scalable, highly responsive services and
 masks transient cloud outages" (Sec. III-A) — but edge nodes fail too.
-This example kills one of the corridor's motorway RSUs mid-run: its
-vehicles re-home to a neighbour and keep receiving warnings, at the
-cost of the dead node's accumulated driver histories.
+This example kills one of the corridor's motorway RSUs mid-run with an
+injected :class:`~repro.faults.events.RsuKill`: its vehicles re-home
+to a neighbour, the dead node's per-driver prediction state is
+replayed into the survivor's CO-DATA, and warnings keep flowing.
 
 Run:  python examples/rsu_failover.py
 """
 
-from repro.core import ScenarioConfig, TestbedScenario
+from repro.core import TestbedScenario
 from repro.core.system import default_training_dataset
+from repro.faults import FaultProfile, RsuKill
 
 
 def main() -> None:
     dataset = default_training_dataset(seed=11, n_cars=80)
-    config = ScenarioConfig(n_vehicles=24, duration_s=6.0, seed=5)
-    scenario = TestbedScenario.corridor(config, motorways=2, dataset=dataset)
-    scenario.schedule_failover("rsu-mw-1", "rsu-mw-2", at_s=3.0)
+    kill = FaultProfile(
+        "kill-mw-1",
+        (RsuKill("rsu-mw-1", at_s=3.0, failover_to="rsu-mw-2"),),
+    )
+    scenario = (
+        TestbedScenario.builder()
+        .vehicles(24)
+        .duration(6.0)
+        .seed(5)
+        .faults(kill)
+        .corridor(motorways=2, dataset=dataset)
+    )
     print("corridor with 2 motorway RSUs + 1 link RSU; "
           "rsu-mw-1 dies at t=3.0 s\n")
     result = scenario.run()
@@ -41,9 +52,12 @@ def main() -> None:
         stats.warnings_received for stats in result.vehicle_stats.values()
     )
     print(f"warnings delivered across the run: {warnings_received}")
-    print("\n-> detection continued through the outage; only the dead "
-          "node's\n   per-driver histories were lost (they cannot be "
-          "forwarded by a dead RSU).")
+    for entry in result.resilience.fault_log:
+        print(f"fault @ {entry.time_s:.3f}s: {entry.kind} "
+              f"{entry.target} {entry.detail}")
+    print("\n-> detection continued through the outage, and the dead "
+          "node's\n   per-driver histories were replayed into the "
+          "survivor's CO-DATA.")
 
 
 if __name__ == "__main__":

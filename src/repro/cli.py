@@ -147,6 +147,26 @@ def _cmd_mac(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.experiments.resilience import resilience_corridor
+    from repro.faults.events import corridor_profiles
+
+    if args.profile == "list":
+        for name, prof in corridor_profiles(args.duration).items():
+            kinds = ", ".join(type(e).__name__ for e in prof.events)
+            print(f"{name:<14} {kinds}")
+        return 0
+    report = resilience_corridor(
+        profile_name=args.profile,
+        n_vehicles=args.vehicles,
+        duration_s=args.duration,
+        motorways=args.motorways,
+        seed=args.seed,
+    )
+    print(report.format_report())
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     """Run every paper experiment at reduced scale, in order."""
     from repro.core.system import default_training_dataset
@@ -298,6 +318,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--vehicles", type=int, nargs="+", default=[8, 64, 256, 400]
     )
     mac.set_defaults(func=_cmd_mac)
+
+    resilience = commands.add_parser(
+        "resilience",
+        help="fault-injected corridor run (crash, kill, partition, loss)",
+    )
+    resilience.add_argument(
+        "--profile",
+        default="chaos",
+        help="fault profile name, or 'list' to enumerate (default: chaos)",
+    )
+    resilience.add_argument(
+        "--vehicles", type=int, default=16, help="vehicles per RSU"
+    )
+    resilience.add_argument(
+        "--duration", type=float, default=6.0, help="simulated seconds"
+    )
+    resilience.add_argument(
+        "--motorways", type=int, default=2, help="motorway RSUs in the corridor"
+    )
+    resilience.add_argument("--seed", type=int, default=7, help="scenario seed")
+    resilience.set_defaults(func=_cmd_resilience)
 
     reproduce = commands.add_parser(
         "reproduce",

@@ -37,7 +37,18 @@ from repro.core.features import (
 )
 from repro.core.online import OnlineAD3Detector, OnlineLabeler, RollingProfile
 from repro.core.rsu import RsuConfig, RsuNode
-from repro.core.system import ScenarioConfig, ScenarioResult, TestbedScenario
+from repro.core.scenario import (
+    ScenarioBuilder,
+    ScenarioSpec,
+    paper_corridor,
+    paper_single_rsu,
+)
+from repro.core.system import (
+    ResilienceStats,
+    ScenarioConfig,
+    ScenarioResult,
+    TestbedScenario,
+)
 from repro.core.vehicle import VehicleNode, VehicleStats
 from repro.core.wire import (
     SERDE_PROFILES,
@@ -65,11 +76,16 @@ __all__ = [
     "OnlineLabeler",
     "PredictionSummary",
     "RollingProfile",
+    "ResilienceStats",
     "RsuConfig",
     "RsuNode",
+    "ScenarioBuilder",
     "ScenarioConfig",
     "ScenarioResult",
+    "ScenarioSpec",
     "TestbedScenario",
+    "paper_corridor",
+    "paper_single_rsu",
     "VehicleNode",
     "VehicleStats",
     "WarningMessage",

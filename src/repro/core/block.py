@@ -339,6 +339,11 @@ class DetectionEventLog:
             return np.empty(0)
         return np.concatenate(parts)
 
+    def car_ids(self) -> np.ndarray:
+        return self._column(
+            lambda s: s[0] if isinstance(s, tuple) else np.array([s.car_id])
+        )
+
     def generated_at(self) -> np.ndarray:
         return self._column(
             lambda s: s[1] if isinstance(s, tuple) else np.array([s.generated_at])

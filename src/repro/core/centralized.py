@@ -17,10 +17,11 @@ import numpy as np
 from repro.core.block import TelemetryBlock
 from repro.core.features import centralized_features, labels_of
 from repro.dataset.schema import NORMAL, TelemetryRecord
+from repro.ml.base import Detector
 from repro.ml.naive_bayes import GaussianNaiveBayes
 
 
-class CentralizedDetector:
+class CentralizedDetector(Detector):
     """City-scale Naive Bayes over [InstSpeed, accel, Hour, RoadType].
 
     ``encoding`` selects the RoadType representation ("ordinal" or
@@ -64,12 +65,12 @@ class CentralizedDetector:
         )
 
     def detect(
-        self, records: Sequence[TelemetryRecord]
+        self, records: Sequence[TelemetryRecord], summaries=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         return self.predict(records), self.predict_normal_proba(records)
 
     def detect_block(
-        self, block: TelemetryBlock
+        self, block: TelemetryBlock, summaries=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Columnar :meth:`detect` — one likelihood evaluation, no
         per-record materialization; bit-identical output."""

@@ -104,10 +104,7 @@ class CloudRelayRsu(RsuNode):
             block = decode_telemetry_block(
                 payloads, serde=self._serde_for(IN_DATA)
             )
-            if hasattr(self.detector, "detect_block"):
-                classes, _ = self.detector.detect_block(block)
-            else:
-                classes, _ = self.detector.detect(block.records())
+            classes, _ = self.detector.detect_block(block)
             abnormal = np.asarray(classes) == ABNORMAL
             self.events.append_block(
                 block.car_id,

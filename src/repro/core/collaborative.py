@@ -28,6 +28,7 @@ from repro.core.detector import AD3Detector
 from repro.core.features import PredictionSummary, labels_of
 from repro.dataset.schema import NORMAL, TelemetryRecord
 from repro.geo.roadnet import RoadType
+from repro.ml.base import Detector
 from repro.ml.decision_tree import DecisionTreeClassifier
 
 #: Prior used for vehicles with no forwarded history (e.g. a trip that
@@ -40,7 +41,7 @@ HISTORY_WEIGHT = 0.5
 LOCAL_WEIGHT = 0.5
 
 
-class CollaborativeDetector:
+class CollaborativeDetector(Detector):
     """CAD3 detection at a collaborating RSU.
 
     Parameters
@@ -179,8 +180,10 @@ class CollaborativeDetector:
     def detect(
         self,
         records: Sequence[TelemetryRecord],
-        summaries: Mapping[int, PredictionSummary],
+        summaries: Optional[Mapping[int, PredictionSummary]] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
+        if summaries is None:
+            summaries = {}
         return (
             self.predict(records, summaries),
             self.predict_normal_proba(records, summaries),
@@ -206,7 +209,7 @@ class CollaborativeDetector:
     def detect_block(
         self,
         block: TelemetryBlock,
-        summaries: Mapping[int, PredictionSummary],
+        summaries: Optional[Mapping[int, PredictionSummary]] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Columnar :meth:`detect`: the fusion features are built once
         (the record path rebuilds them — and re-runs the NB — for the
@@ -214,6 +217,8 @@ class CollaborativeDetector:
         evaluated a single time.  Output is bit-identical to
         ``detect(block.records(), summaries)``.
         """
+        if summaries is None:
+            summaries = {}
         if len(block) == 0:
             return np.empty(0, dtype=int), np.empty(0)
         if not self._fitted:

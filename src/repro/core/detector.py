@@ -17,6 +17,7 @@ from repro.core.block import ROAD_TYPES, TelemetryBlock
 from repro.core.features import ROAD_TYPE_CODE, base_features, labels_of
 from repro.dataset.schema import NORMAL, TelemetryRecord
 from repro.geo.roadnet import RoadType
+from repro.ml.base import Detector
 from repro.ml.naive_bayes import GaussianNaiveBayes
 
 
@@ -28,7 +29,7 @@ def road_features(records) -> np.ndarray:
     return base_features(records)
 
 
-class AD3Detector:
+class AD3Detector(Detector):
     """Per-road-type Naive Bayes anomaly detector.
 
     Parameters
@@ -110,13 +111,17 @@ class AD3Detector:
         return self.model.proba_of(road_features(records), NORMAL)
 
     def detect(
-        self, records: Sequence[TelemetryRecord]
+        self, records: Sequence[TelemetryRecord], summaries=None
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """(classes, normal probabilities) in one pass."""
+        """(classes, normal probabilities) in one pass.
+
+        ``summaries`` is accepted for protocol uniformity and ignored:
+        AD3 detection is road-local.
+        """
         return self.predict(records), self.predict_normal_proba(records)
 
     def detect_block(
-        self, block: TelemetryBlock
+        self, block: TelemetryBlock, summaries=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Columnar :meth:`detect`: score a whole micro-batch without
         materializing records, evaluating the likelihood once.

@@ -28,6 +28,7 @@ from repro.core.detector import road_features
 from repro.core.features import ROAD_TYPE_CODE
 from repro.dataset.schema import ABNORMAL, NORMAL, TelemetryRecord
 from repro.geo.roadnet import RoadType
+from repro.ml.base import Detector
 from repro.ml.naive_bayes import GaussianNaiveBayes
 
 
@@ -126,7 +127,7 @@ class OnlineLabeler:
         )
 
 
-class OnlineAD3Detector:
+class OnlineAD3Detector(Detector):
     """An AD3 detector that keeps learning from the stream it scores.
 
     Parameters
@@ -291,7 +292,7 @@ class OnlineAD3Detector:
         return self.model.proba_of(road_features(records), NORMAL)
 
     def detect(
-        self, records: Sequence[TelemetryRecord]
+        self, records: Sequence[TelemetryRecord], summaries=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """(classes, normal probabilities) — the RSU pipeline contract.
 
@@ -309,7 +310,7 @@ class OnlineAD3Detector:
         return self.predict(records), self.predict_normal_proba(records)
 
     def detect_block(
-        self, block: TelemetryBlock
+        self, block: TelemetryBlock, summaries=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Columnar :meth:`detect` — bit-identical output, one
         likelihood evaluation, same warm-up semantics."""

@@ -11,14 +11,11 @@ handover.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.block import NO_LABEL, DetectionEventLog, TelemetryBlock
-from repro.core.centralized import CentralizedDetector
-from repro.core.collaborative import CollaborativeDetector
-from repro.core.detector import AD3Detector
 from repro.core.features import (
     CO_DATA,
     IN_DATA,
@@ -30,9 +27,10 @@ from repro.core.features import (
 from repro.core.wire import decode_telemetry_block
 from repro.dataset.schema import ABNORMAL
 from repro.microbatch.context import ProcessingModel, StreamingContext
+from repro.ml.base import Detector, as_detector
 from repro.net.link import WiredLink
 from repro.simkernel.simulator import Simulator
-from repro.streaming.broker import Broker
+from repro.streaming.broker import Broker, BrokerUnavailable
 from repro.streaming.consumer import Consumer
 from repro.streaming.serde import JsonSerde, Serde
 
@@ -61,10 +59,16 @@ class RsuConfig:
     #: Per-topic serde overrides (e.g. :func:`repro.core.wire.topic_serdes`
     #: for the binary profile); topics not listed use compact JSON.
     serdes: Optional[Dict[str, Serde]] = None
+    #: Seconds of CO-DATA silence (after at least one summary arrived)
+    #: before a collaborating RSU degrades to road-only detection.
+    #: ``None`` (default) disables degradation — the seed behaviour.
+    upstream_timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.warning_threshold < 1:
             raise ValueError("warning_threshold must be >= 1")
+        if self.upstream_timeout_s is not None and self.upstream_timeout_s <= 0:
+            raise ValueError("upstream_timeout_s must be positive")
 
 
 @dataclass
@@ -118,25 +122,23 @@ class RsuNode:
     ) -> None:
         self.sim = sim
         self.name = name
-        self.detector = detector
+        self.detector = as_detector(detector)
+        #: Road-only fallback for degraded operation: the collaborative
+        #: detector's local NB (absent on detectors that do not fuse
+        #: upstream context, which never degrade).
+        self._fallback_detector: Optional[Detector] = (
+            as_detector(self.detector.nb)
+            if getattr(self.detector, "nb", None) is not None
+            else None
+        )
         self.config = config or RsuConfig()
         self.broker = Broker(name, clock=lambda: sim.now)
         for topic in (IN_DATA, OUT_DATA, CO_DATA):
             self.broker.create_topic(topic, self.config.topic_partitions)
         self._default_serde = JsonSerde()
         self._serdes: Dict[str, Serde] = dict(self.config.serdes or {})
-        self._in_consumer = Consumer(
-            self.broker,
-            group=f"{name}-pipeline",
-            serde=self._serde_for(IN_DATA),
-        )
-        self._in_consumer.subscribe([IN_DATA])
-        self._co_consumer = Consumer(
-            self.broker,
-            group=f"{name}-collab",
-            serde=self._serde_for(CO_DATA),
-        )
-        self._co_consumer.subscribe([CO_DATA])
+        self._in_consumer = self._make_pipeline_consumer()
+        self._co_consumer = self._make_collab_consumer()
         jitter_source = None
         if jitter_rng is not None:
             jitter_source = lambda: float(jitter_rng.uniform(-1.0, 1.0))
@@ -156,12 +158,42 @@ class RsuNode:
         self._abnormal_streak: Dict[int, int] = {}
         self._links: Dict[str, WiredLink] = {}
         self._neighbors: Dict[str, "RsuNode"] = {}
+        # Resilience state
+        self.crashed_at: Optional[float] = None
+        self.restarted_at: Optional[float] = None
+        self.degraded = False
+        #: (time, "degraded" | "recovered") transitions, in order.
+        self.degradation_events: List[Tuple[float, str]] = []
+        self.degraded_batches = 0
+        self._last_co_arrival: Optional[float] = None
         # Measurements
         self.events: DetectionEventLog = DetectionEventLog()
         self.warnings_issued = 0
+        #: Warnings appended but unacknowledged (broker ack-loss
+        #: window); they still reach vehicles.
+        self.warnings_ack_lost = 0
         self.summaries_sent = 0
         self.summaries_received = 0
+        self.summaries_lost = 0
         self.failed = False
+
+    def _make_pipeline_consumer(self) -> Consumer:
+        consumer = Consumer(
+            self.broker,
+            group=f"{self.name}-pipeline",
+            serde=self._serde_for(IN_DATA),
+        )
+        consumer.subscribe([IN_DATA])
+        return consumer
+
+    def _make_collab_consumer(self) -> Consumer:
+        consumer = Consumer(
+            self.broker,
+            group=f"{self.name}-collab",
+            serde=self._serde_for(CO_DATA),
+        )
+        consumer.subscribe([CO_DATA])
+        return consumer
 
     # ------------------------------------------------------------------
     # Topology
@@ -187,15 +219,46 @@ class RsuNode:
         self.context.stop()
 
     def fail(self) -> None:
-        """Take the node down (edge-node outage).
+        """Take the node down permanently (edge-node outage).
 
-        The pipeline stops and the node refuses further collaboration;
-        already-queued telemetry is lost with the node.  Vehicles must
-        re-home to a neighbouring RSU (see
-        :meth:`repro.core.system.TestbedScenario.schedule_failover`).
+        The pipeline stops, the broker refuses clients, and the node
+        refuses further collaboration; already-queued telemetry is lost
+        with the node.  Vehicles must re-home to a neighbouring RSU
+        (see :meth:`repro.core.system.TestbedScenario.schedule_failover`).
         """
         self.failed = True
+        self.crashed_at = self.sim.now
         self.context.stop()
+        self.broker.shutdown()
+
+    def crash(self) -> None:
+        """Broker-process crash: like :meth:`fail`, but recoverable.
+
+        The broker's durable state (logs, committed offsets) survives;
+        :meth:`restart` brings the node back and the pipeline resumes
+        from its last committed micro-batch.
+        """
+        self.crashed_at = self.sim.now
+        self.context.stop()
+        self.broker.shutdown()
+
+    def restart(self, until: Optional[float] = None) -> None:
+        """Recover from :meth:`crash`: restart broker and pipeline.
+
+        Both consumers are recreated under their original groups, so
+        their positions restore from the broker's *committed* offsets —
+        records that arrived after the last commit are reprocessed
+        (at-least-once), never skipped.
+        """
+        if self.failed:
+            raise RuntimeError(f"RSU {self.name!r} failed permanently")
+        self.broker.restart()
+        self._in_consumer = self._make_pipeline_consumer()
+        self._co_consumer = self._make_collab_consumer()
+        self.context.consumer = self._in_consumer
+        self.crashed_at = None
+        self.restarted_at = self.sim.now
+        self.context.start(until=until)
 
     # ------------------------------------------------------------------
     # Pipeline
@@ -205,7 +268,13 @@ class RsuNode:
         return self._serdes.get(topic, self._default_serde)
 
     def _drain_co_data(self) -> None:
-        """Fold newly arrived CO-DATA summaries into detection state."""
+        """Fold newly arrived CO-DATA summaries into detection state.
+
+        Arriving summaries also end a degradation episode: the history
+        re-merges (:meth:`PredictionSummary.merge`) and the next batch
+        goes back through the collaborative detector.
+        """
+        arrived = False
         for record in self._co_consumer.poll():
             summary = PredictionSummary.from_payload(record.value)
             existing = self.summaries.get(summary.car_id)
@@ -215,12 +284,49 @@ class RsuNode:
             else:
                 self.summaries[summary.car_id] = summary
             self.summaries_received += 1
+            arrived = True
+        if arrived:
+            self._last_co_arrival = self.sim.now
+            if self.degraded:
+                self.degraded = False
+                self.degradation_events.append((self.sim.now, "recovered"))
+
+    def _check_upstream_silence(self) -> None:
+        """Degrade to road-only detection when CO-DATA goes silent.
+
+        Armed only after the first summary arrives: an RSU that never
+        had an upstream has nothing to lose.  Requires a configured
+        ``upstream_timeout_s`` and a detector with a road-only
+        fallback (``.nb``).
+        """
+        timeout = self.config.upstream_timeout_s
+        if (
+            timeout is None
+            or self.degraded
+            or self._fallback_detector is None
+            or self._last_co_arrival is None
+        ):
+            return
+        if self.sim.now - self._last_co_arrival > timeout:
+            self.degraded = True
+            self.degradation_events.append((self.sim.now, "degraded"))
+
+    def _active_detector(self) -> Detector:
+        """The detector for this batch: road-only NB while degraded."""
+        if self.degraded and self._fallback_detector is not None:
+            return self._fallback_detector
+        return self.detector
 
     def _on_batch(self, batch, completion_time: float) -> None:
         """Detect anomalies in one micro-batch and disseminate warnings."""
+        if not self.broker.available:
+            # The node went down while this batch was in flight; its
+            # results die with the process.
+            return
         # Summaries must fold in even on idle ticks, so a handover
         # arriving before the target sees any telemetry is not lost.
         self._drain_co_data()
+        self._check_upstream_silence()
         if batch.is_empty():
             return
         if self.config.columnar:
@@ -232,14 +338,14 @@ class RsuNode:
         """The original per-record loop (``columnar=False``)."""
         payloads = batch.collect()
         records = [payload_to_record(p["data"]) for p in payloads]
-        if isinstance(self.detector, CollaborativeDetector):
-            classes, probs = self.detector.detect(records, self.summaries)
-        else:
-            classes, probs = self.detector.detect(records)
+        detector = self._active_detector()
+        if self.degraded:
+            self.degraded_batches += 1
+        classes, probs = detector.detect(records, self.summaries)
         # Online detectors keep learning from what they just scored
-        # (prequential: predict first, then observe).
-        if hasattr(self.detector, "observe"):
-            self.detector.observe(records)
+        # (prequential: predict first, then observe); the protocol
+        # makes observe a no-op everywhere else.
+        detector.observe(records)
         for payload, record, cls, prob in zip(payloads, records, classes, probs):
             history = self._history.setdefault(record.car_id, [])
             history.append(float(prob))
@@ -281,17 +387,11 @@ class RsuNode:
         block = decode_telemetry_block(
             batch.collect(), serde=self._serde_for(IN_DATA)
         )
-        detector = self.detector
-        if isinstance(detector, CollaborativeDetector):
-            classes, probs = detector.detect_block(block, self.summaries)
-        elif hasattr(detector, "detect_block"):
-            classes, probs = detector.detect_block(block)
-        else:
-            classes, probs = detector.detect(block.records())
-        if hasattr(detector, "observe_block"):
-            detector.observe_block(block)
-        elif hasattr(detector, "observe"):
-            detector.observe(block.records())
+        detector = self._active_detector()
+        if self.degraded:
+            self.degraded_batches += 1
+        classes, probs = detector.detect_block(block, self.summaries)
+        detector.observe_block(block)
         abnormal = np.asarray(classes) == ABNORMAL
         self.events.append_block(
             block.car_id,
@@ -381,12 +481,19 @@ class RsuNode:
         )
         out = dict(warning.to_payload())
         out["generated_at"] = generated_at
-        self.broker.produce(
-            OUT_DATA,
-            self._serde_for(OUT_DATA).serialize(out),
-            key=str(car_id).encode(),
-            timestamp=detected_at,
-        )
+        try:
+            self.broker.produce(
+                OUT_DATA,
+                self._serde_for(OUT_DATA).serialize(out),
+                key=str(car_id).encode(),
+                timestamp=detected_at,
+            )
+        except BrokerUnavailable:
+            # Only reachable in an ack-loss window (a down broker has
+            # no running pipeline): the warning *was* appended, just
+            # unacknowledged — vehicles still receive it.
+            self.warnings_ack_lost += 1
+            return
         self.warnings_issued += 1
 
     # ------------------------------------------------------------------
@@ -441,10 +548,18 @@ class RsuNode:
         payload = self._serde_for(CO_DATA).serialize(summary.to_payload())
 
         def deliver(at_time: float, data=payload) -> None:
-            target.broker.produce(CO_DATA, data, timestamp=at_time)
+            try:
+                target.broker.produce(CO_DATA, data, timestamp=at_time)
+            except BrokerUnavailable:
+                # The target is down mid-flight: the summary is lost
+                # (CO-DATA transfer is fire-and-forget, per the paper).
+                self.summaries_lost += 1
 
-        link.send(len(payload), deliver)
-        self.summaries_sent += 1
+        if link.send(len(payload), deliver) is None:
+            # Partitioned link: dropped at the sender, no delivery.
+            self.summaries_lost += 1
+        else:
+            self.summaries_sent += 1
         # The car's history now belongs to the next road.
         self._history.pop(car_id, None)
         self._last_class.pop(car_id, None)

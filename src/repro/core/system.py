@@ -12,77 +12,108 @@ Two topologies, matching the evaluation:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.collaborative import CollaborativeDetector, summaries_from_upstream
 from repro.core.detector import AD3Detector
 from repro.core.rsu import RsuConfig, RsuNode
+from repro.core.scenario import ScenarioBuilder, ScenarioSpec
 from repro.core.vehicle import VehicleNode, VehicleStats
-from repro.core.wire import SERDE_PROFILES, topic_serdes
+from repro.core.wire import topic_serdes
 from repro.dataset.generator import DatasetGenerator, GeneratorConfig
 from repro.dataset.preprocess import Preprocessor
 from repro.dataset.schema import TelemetryRecord
 from repro.geo.network_builder import CityNetworkBuilder
 from repro.geo.roadnet import RoadType
-from repro.microbatch.context import ProcessingModel
-from repro.net.dsrc import DSRC_BANDWIDTH_BPS, DsrcChannel, McsScheme, PAPER_MCS_8
+from repro.net.dsrc import DSRC_BANDWIDTH_BPS, DsrcChannel
 from repro.net.htb import HtbClass, HtbShaper
 from repro.net.link import WiredLink
 from repro.simkernel.rng import RngRegistry
 from repro.simkernel.simulator import Simulator
 
 
+class ScenarioConfig(ScenarioSpec):
+    """Deprecated alias of :class:`~repro.core.scenario.ScenarioSpec`.
+
+    Construct specs with ``TestbedScenario.builder()`` (or the
+    presets in :mod:`repro.core.scenario`) instead; this shim keeps
+    pre-builder call sites working, field-for-field, while warning.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "ScenarioConfig is deprecated; use TestbedScenario.builder() "
+            "or repro.core.scenario.ScenarioSpec",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
+
+
 @dataclass
-class ScenarioConfig:
-    """Testbed knobs, defaulting to the paper's settings."""
+class ResilienceStats:
+    """What the faults cost, and how the system absorbed them.
 
-    n_vehicles: int = 8  # per RSU
-    duration_s: float = 10.0
-    update_rate_hz: float = 10.0
-    batch_interval_s: float = 0.050
-    poll_interval_s: float = 0.010
-    seed: int = 7
-    use_htb: bool = True
-    htb_floor_bps: float = 100_000.0  # netem assured rate per producer
-    mcs: McsScheme = field(default_factory=lambda: PAPER_MCS_8)
-    #: Broadcast-frame loss probability on the DSRC channel.
-    loss_prob: float = 0.0
-    handover_fraction: float = 0.0
-    handover_at_s: Optional[float] = None
-    processing_model: ProcessingModel = field(default_factory=ProcessingModel)
-    #: Wire format for the three topics: ``"json"`` (compact JSON, the
-    #: seed behaviour) or ``"struct"`` (fixed-layout binary: telemetry
-    #: packets shrink to less than half and decode an order of
-    #: magnitude faster).
-    serde_profile: str = "json"
-    #: Vehicle warning consumption: ``"poll"`` (paper: every 10 ms) or
-    #: ``"notify"`` (wake on produce; not real-Kafka-faithful).
-    dissemination: str = "poll"
-    #: Columnar micro-batch pipeline at the RSUs (bit-identical
-    #: results; ``False`` forces the original per-record loop).
-    columnar: bool = True
+    Aggregated over the whole scenario after the run; the injector's
+    ``fault_log`` records what was injected and when, the counters
+    record the system's response.
+    """
 
-    def __post_init__(self) -> None:
-        if self.n_vehicles < 1:
-            raise ValueError("need at least one vehicle")
-        if self.duration_s <= 0:
-            raise ValueError("duration must be positive")
-        if not 0.0 <= self.handover_fraction <= 1.0:
-            raise ValueError("handover_fraction must be in [0, 1]")
-        if not 0.0 <= self.loss_prob < 1.0:
-            raise ValueError("loss_prob must be in [0, 1)")
-        if self.serde_profile not in SERDE_PROFILES:
-            raise ValueError(
-                f"unknown serde_profile: {self.serde_profile!r}; "
-                f"choose from {SERDE_PROFILES}"
-            )
-        if self.dissemination not in ("poll", "notify"):
-            raise ValueError(
-                f"unknown dissemination mode: {self.dissemination!r}"
-            )
+    #: Timestamped injector actions (empty on fault-free runs).
+    fault_log: List[object] = field(default_factory=list)
+    #: Telemetry refused by a down broker and dropped (no retry policy).
+    records_lost: int = 0
+    #: Telemetry buffered during an outage and later delivered.
+    records_retried: int = 0
+    #: Telemetry evicted from full retry buffers (lost despite retry).
+    records_dropped: int = 0
+    #: Buffered telemetry discarded on purpose at a cross-road
+    #: handover (stale for the new RSU's road model).
+    records_abandoned: int = 0
+    #: Warning polls refused by a down broker.
+    poll_failures: int = 0
+    #: Redundant produce attempts rejected by broker-side idempotence.
+    duplicates_rejected: int = 0
+    #: Broker shutdowns (crashes + permanent failures).
+    broker_crashes: int = 0
+    #: CO-DATA summaries lost to partitions or dead targets.
+    summaries_lost: int = 0
+    #: Per-RSU ``(time, "degraded" | "recovered")`` transitions.
+    degradation_events: Dict[str, List[Tuple[float, str]]] = field(
+        default_factory=dict
+    )
+    #: Per-RSU restart time (crashed-and-recovered nodes only).
+    restarted_at_s: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "fault_log": [
+                {
+                    "time_s": entry.time_s,
+                    "kind": entry.kind,
+                    "target": entry.target,
+                    "detail": entry.detail,
+                }
+                for entry in self.fault_log
+            ],
+            "records_lost": self.records_lost,
+            "records_retried": self.records_retried,
+            "records_dropped": self.records_dropped,
+            "records_abandoned": self.records_abandoned,
+            "poll_failures": self.poll_failures,
+            "duplicates_rejected": self.duplicates_rejected,
+            "broker_crashes": self.broker_crashes,
+            "summaries_lost": self.summaries_lost,
+            "degradation_events": {
+                name: [[t, kind] for t, kind in events]
+                for name, events in self.degradation_events.items()
+            },
+            "restarted_at_s": dict(self.restarted_at_s),
+        }
 
 
 @dataclass
@@ -106,10 +137,13 @@ class RsuMetrics:
 class ScenarioResult:
     """Everything the Fig. 6 experiments read."""
 
-    config: ScenarioConfig
+    config: ScenarioSpec
     duration_s: float
     rsu_metrics: Dict[str, RsuMetrics]
     vehicle_stats: Dict[int, VehicleStats]
+    #: Fault/recovery accounting (None only for results built by older
+    #: code paths that predate the resilience layer).
+    resilience: Optional[ResilienceStats] = None
 
     # ------------------------------------------------------------------
     def _all_latencies(self, attribute: str) -> np.ndarray:
@@ -161,6 +195,9 @@ class ScenarioResult:
         """JSON-serialisable summary (for experiment artefacts)."""
         return {
             "duration_s": self.duration_s,
+            "resilience": (
+                None if self.resilience is None else self.resilience.to_dict()
+            ),
             "n_vehicles": len(self.vehicle_stats),
             "mean_e2e_ms": self.mean_e2e_ms(),
             "mean_tx_ms": self.mean_tx_ms(),
@@ -211,7 +248,7 @@ class TestbedScenario:
 
     __test__ = False  # not a pytest class, despite the name
 
-    def __init__(self, config: ScenarioConfig) -> None:
+    def __init__(self, config: ScenarioSpec) -> None:
         self.config = config
         self.sim = Simulator()
         self.rng = RngRegistry(config.seed)
@@ -221,6 +258,12 @@ class TestbedScenario:
         self.vehicles: List[VehicleNode] = []
         self._next_car_id = 1
         self._record_pools: Dict[RoadType, List[TelemetryRecord]] = {}
+        self._injector = None
+
+    @staticmethod
+    def builder() -> ScenarioBuilder:
+        """Start a fluent :class:`~repro.core.scenario.ScenarioBuilder`."""
+        return ScenarioBuilder()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -231,6 +274,7 @@ class TestbedScenario:
             processing_model=self.config.processing_model,
             columnar=self.config.columnar,
             serdes=topic_serdes(self.config.serde_profile),
+            upstream_timeout_s=self.config.upstream_timeout_s,
         )
 
     def add_rsu(self, name: str, detector) -> RsuNode:
@@ -294,6 +338,7 @@ class TestbedScenario:
                 rng=self.rng.stream(f"vehicle.{car_id}"),
                 serdes=topic_serdes(self.config.serde_profile),
                 dissemination=self.config.dissemination,
+                retry=self.config.producer_retry,
             )
             self.vehicles.append(vehicle)
             created.append(vehicle)
@@ -319,7 +364,9 @@ class TestbedScenario:
             for index, vehicle in enumerate(vehicles):
                 old = vehicle.rsu
                 old.handover(vehicle.car_id, to_rsu)
-                vehicle.migrate(target, channel)
+                # The vehicle changes road (and sub-dataset): telemetry
+                # still buffered for the old RSU is stale, not replayed.
+                vehicle.migrate(target, channel, drop_pending=True)
                 vehicle.shaper = self._shaper_for(to_rsu, vehicle.car_id)
                 stripe = list(new_records[index :: max(1, len(vehicles))])
                 if stripe:
@@ -365,7 +412,7 @@ class TestbedScenario:
 
     @classmethod
     def single_rsu(
-        cls, config: ScenarioConfig, dataset=None
+        cls, config: ScenarioSpec, dataset=None
     ) -> "TestbedScenario":
         """One motorway RSU with ``config.n_vehicles`` vehicles."""
         scenario = cls(config)
@@ -386,7 +433,7 @@ class TestbedScenario:
 
     @classmethod
     def single_rsu_cloud(
-        cls, config: ScenarioConfig, dataset=None, cloud=None
+        cls, config: ScenarioSpec, dataset=None, cloud=None
     ) -> "TestbedScenario":
         """The QF-COTE-style baseline: detection offloaded to the
         cloud behind the RSU (Sec. VII-A comparison)."""
@@ -426,7 +473,7 @@ class TestbedScenario:
     @classmethod
     def corridor(
         cls,
-        config: ScenarioConfig,
+        config: ScenarioSpec,
         motorways: int = 4,
         dataset=None,
         link_detector_kind: str = "cad3",
@@ -495,7 +542,7 @@ class TestbedScenario:
     @classmethod
     def chain(
         cls,
-        config: ScenarioConfig,
+        config: ScenarioSpec,
         hops: int = 3,
         dataset=None,
     ) -> "TestbedScenario":
@@ -543,6 +590,12 @@ class TestbedScenario:
     def run(self) -> ScenarioResult:
         """Start everything, run for the configured duration, collect."""
         until = self.config.duration_s
+        if self.config.faults is not None and self._injector is None:
+            # Imported lazily: repro.faults builds on repro.core.
+            from repro.faults.injector import FaultInjector
+
+            self._injector = FaultInjector(self)
+            self._injector.install(self.config.faults)
         for rsu in self.rsus.values():
             rsu.start(until=until)
         for vehicle in self.vehicles:
@@ -578,4 +631,26 @@ class TestbedScenario:
             duration_s=self.config.duration_s,
             rsu_metrics=rsu_metrics,
             vehicle_stats={v.car_id: v.stats for v in self.vehicles},
+            resilience=self._collect_resilience(),
         )
+
+    def _collect_resilience(self) -> ResilienceStats:
+        """Aggregate fault/recovery accounting across all nodes."""
+        stats = ResilienceStats(
+            fault_log=list(self._injector.log) if self._injector else []
+        )
+        for vehicle in self.vehicles:
+            stats.records_lost += vehicle.stats.records_lost
+            stats.poll_failures += vehicle.stats.poll_failures
+            stats.records_retried += vehicle._producer.records_retried
+            stats.records_dropped += vehicle._producer.records_dropped
+            stats.records_abandoned += vehicle._producer.records_abandoned
+        for name, rsu in self.rsus.items():
+            stats.duplicates_rejected += rsu.broker.duplicates_rejected
+            stats.broker_crashes += rsu.broker.crashes
+            stats.summaries_lost += rsu.summaries_lost
+            if rsu.degradation_events:
+                stats.degradation_events[name] = list(rsu.degradation_events)
+            if rsu.restarted_at is not None:
+                stats.restarted_at_s[name] = rsu.restarted_at
+        return stats

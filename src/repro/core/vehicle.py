@@ -20,8 +20,10 @@ from repro.dataset.schema import TelemetryRecord
 from repro.net.dsrc import DsrcChannel
 from repro.net.htb import HtbShaper
 from repro.simkernel.simulator import Simulator
+from repro.streaming.broker import BrokerUnavailable
 from repro.streaming.consumer import Consumer
-from repro.streaming.serde import JsonSerde, Serde
+from repro.streaming.producer import Producer, RetryPolicy
+from repro.streaming.serde import JsonSerde, RawSerde, Serde
 
 
 @dataclass
@@ -31,6 +33,11 @@ class VehicleStats:
     records_sent: int = 0
     bytes_sent: int = 0
     warnings_received: int = 0
+    #: Telemetry that reached the RSU but was refused by a down broker
+    #: (and, without a retry policy, lost for good).
+    records_lost: int = 0
+    #: Warning polls refused by a down broker.
+    poll_failures: int = 0
     e2e_latencies_s: List[float] = field(default_factory=list)
     dissemination_latencies_s: List[float] = field(default_factory=list)
 
@@ -77,6 +84,11 @@ class VehicleNode:
         lower dissemination latency, but a push channel real Kafka
         does not offer; keep ``"poll"`` when reproducing the paper's
         latency numbers).
+    retry:
+        :class:`~repro.streaming.producer.RetryPolicy` for telemetry
+        produce: buffered retries with backoff plus idempotent
+        sequence numbers.  ``None`` (default, the seed behaviour)
+        drops telemetry refused by a down broker.
     """
 
     def __init__(
@@ -94,6 +106,7 @@ class VehicleNode:
         rng: Optional[np.random.Generator] = None,
         serdes: Optional[Dict[str, Serde]] = None,
         dissemination: str = "poll",
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if update_rate_hz <= 0:
             raise ValueError("update rate must be positive")
@@ -118,6 +131,20 @@ class VehicleNode:
         self.serde = self._serdes.get(IN_DATA, default)
         self._out_serde = self._serdes.get(OUT_DATA, default)
         self.dissemination = dissemination
+        # Telemetry goes through a Producer so the delivery guarantees
+        # (bounded retry buffer, idempotent sequences) apply.  The
+        # envelope is serialized by the vehicle (the wire size gates
+        # the DSRC airtime), so the producer's serde is a passthrough.
+        # A retry policy implies idempotence: retries must never
+        # double-count a record the broker already appended.
+        self._producer = Producer(
+            rsu.broker,
+            serde=RawSerde(),
+            client_id=f"vehicle-{car_id}",
+            sim=sim,
+            retry=retry,
+            idempotent=retry is not None,
+        )
         self.stats = VehicleStats()
         self._consumer: Optional[Consumer] = None
         self._cancel_produce = None
@@ -201,15 +228,23 @@ class VehicleNode:
             self._cancel_notify = None
 
     # ------------------------------------------------------------------
-    def migrate(self, new_rsu, new_channel: DsrcChannel) -> None:
+    def migrate(
+        self, new_rsu, new_channel: DsrcChannel, drop_pending: bool = False
+    ) -> None:
         """Handover: switch to a new RSU and its channel.
 
         The caller is responsible for triggering the old RSU's
         ``handover`` (CO-DATA summary transfer); the vehicle only
-        re-homes its producer and consumer.
+        re-homes its producer and consumer.  Telemetry still buffered
+        for the old (possibly dead) RSU replays to the new one —
+        at-least-once across the failover, deduped by sequence number.
+        ``drop_pending`` discards that backlog instead, for handovers
+        onto a different road where the old records are stale (the new
+        RSU has no model for them).
         """
         self.rsu = new_rsu
         self.channel = new_channel
+        self._producer.rebind(new_rsu.broker, drop_pending=drop_pending)
         self._attach_consumer()
 
     def set_records(self, records: Iterable[TelemetryRecord]) -> None:
@@ -242,12 +277,17 @@ class VehicleNode:
         def transmit() -> None:
             def deliver(at_time: float) -> None:
                 envelope["arrived_at"] = at_time
-                self.rsu.broker.produce(
-                    IN_DATA,
-                    self.serde.serialize(envelope),
-                    key=str(self.car_id).encode(),
-                    timestamp=at_time,
-                )
+                try:
+                    self._producer.send(
+                        IN_DATA,
+                        self.serde.serialize(envelope),
+                        key=str(self.car_id).encode(),
+                        timestamp=at_time,
+                    )
+                except BrokerUnavailable:
+                    # No retry policy: the frame made it over the air
+                    # but the broker refused it — lost for good.
+                    self.stats.records_lost += 1
 
             self.channel.transmit(size, deliver)
 
@@ -259,7 +299,12 @@ class VehicleNode:
         self.stats.bytes_sent += size
 
     def _poll_warnings(self) -> None:
-        for record in self._consumer.poll():
+        try:
+            records = self._consumer.poll()
+        except BrokerUnavailable:
+            self.stats.poll_failures += 1
+            return
+        for record in records:
             if int(record.value.get("car", -1)) != self.car_id:
                 continue
             jitter = float(

@@ -25,11 +25,7 @@ import numpy as np
 
 from repro.core.collaborative import CollaborativeDetector, summaries_from_upstream
 from repro.core.detector import AD3Detector
-from repro.core.system import (
-    ScenarioConfig,
-    TestbedScenario,
-    default_training_dataset,
-)
+from repro.core.system import TestbedScenario, default_training_dataset
 from repro.dataset.generator import DatasetGenerator, GeneratorConfig
 from repro.dataset.preprocess import Preprocessor
 from repro.experiments.datasets import corridor_dataset
@@ -215,13 +211,15 @@ def ablate_batch_interval(
     dataset = dataset or default_training_dataset(seed=11, n_cars=60)
     points = []
     for interval in intervals_s:
-        config = ScenarioConfig(
-            n_vehicles=n_vehicles,
-            duration_s=duration_s,
-            batch_interval_s=interval,
-            seed=7,
+        result = (
+            TestbedScenario.builder()
+            .vehicles(n_vehicles)
+            .duration(duration_s)
+            .batch_interval(interval)
+            .seed(7)
+            .single_rsu(dataset=dataset)
+            .run()
         )
-        result = TestbedScenario.single_rsu(config, dataset=dataset).run()
         points.append(
             AblationPoint(
                 f"batch_interval={interval * 1e3:.0f}ms",
@@ -246,13 +244,15 @@ def ablate_poll_interval(
     dataset = dataset or default_training_dataset(seed=11, n_cars=60)
     points = []
     for interval in intervals_s:
-        config = ScenarioConfig(
-            n_vehicles=n_vehicles,
-            duration_s=duration_s,
-            poll_interval_s=interval,
-            seed=7,
+        result = (
+            TestbedScenario.builder()
+            .vehicles(n_vehicles)
+            .duration(duration_s)
+            .poll_interval(interval)
+            .seed(7)
+            .single_rsu(dataset=dataset)
+            .run()
         )
-        result = TestbedScenario.single_rsu(config, dataset=dataset).run()
         points.append(
             AblationPoint(
                 f"poll_interval={interval * 1e3:.0f}ms",
@@ -327,10 +327,13 @@ def ablate_warning_threshold(
     dataset = dataset or default_training_dataset(seed=11, n_cars=60)
     points = []
     for threshold in thresholds:
-        config = ScenarioConfig(
-            n_vehicles=n_vehicles, duration_s=duration_s, seed=7
+        scenario = (
+            TestbedScenario.builder()
+            .vehicles(n_vehicles)
+            .duration(duration_s)
+            .seed(7)
+            .single_rsu(dataset=dataset)
         )
-        scenario = TestbedScenario.single_rsu(config, dataset=dataset)
         rsu = scenario.rsus["rsu-motorway"]
         rsu.config.warning_threshold = threshold
         result = scenario.run()
@@ -378,13 +381,14 @@ def ablate_packet_loss(
     dataset = dataset or default_training_dataset(seed=11, n_cars=60)
     points = []
     for loss in loss_levels:
-        config = ScenarioConfig(
-            n_vehicles=n_vehicles,
-            duration_s=duration_s,
-            loss_prob=loss,
-            seed=7,
+        scenario = (
+            TestbedScenario.builder()
+            .vehicles(n_vehicles)
+            .duration(duration_s)
+            .loss(loss)
+            .seed(7)
+            .single_rsu(dataset=dataset)
         )
-        scenario = TestbedScenario.single_rsu(config, dataset=dataset)
         result = scenario.run()
         sent = sum(
             stats.records_sent for stats in result.vehicle_stats.values()

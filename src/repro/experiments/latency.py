@@ -12,11 +12,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.system import (
-    ScenarioConfig,
-    TestbedScenario,
-    default_training_dataset,
-)
+from repro.core.system import TestbedScenario, default_training_dataset
 
 #: The paper sweeps 8 to 256 vehicles.
 PAPER_VEHICLE_COUNTS = (8, 16, 32, 64, 128, 256)
@@ -61,10 +57,14 @@ def fig6a_latency_sweep(
     dataset = dataset or default_training_dataset(seed=11, n_cars=80)
     rows = []
     for count in vehicle_counts:
-        config = ScenarioConfig(
-            n_vehicles=count, duration_s=duration_s, seed=seed
+        result = (
+            TestbedScenario.builder()
+            .vehicles(count)
+            .duration(duration_s)
+            .seed(seed)
+            .single_rsu(dataset=dataset)
+            .run()
         )
-        result = TestbedScenario.single_rsu(config, dataset=dataset).run()
         e2e = result.e2e_latencies_ms
         total_ms = float(e2e.mean()) if e2e.size else 0.0
         total_std = float(e2e.std()) if e2e.size else 0.0

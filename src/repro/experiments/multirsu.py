@@ -14,11 +14,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.core.system import (
-    ScenarioConfig,
-    TestbedScenario,
-    default_training_dataset,
-)
+from repro.core.system import TestbedScenario, default_training_dataset
 
 
 @dataclass
@@ -74,14 +70,13 @@ def fig6bd_corridor(
 ) -> CorridorResult:
     """Run the 5-RSU topology and aggregate per-RSU measurements."""
     dataset = dataset or default_training_dataset(seed=11, n_cars=80)
-    config = ScenarioConfig(
-        n_vehicles=n_vehicles_per_rsu,
-        duration_s=duration_s,
-        seed=seed,
-        handover_fraction=handover_fraction,
-    )
-    scenario = TestbedScenario.corridor(
-        config, motorways=motorways, dataset=dataset
+    scenario = (
+        TestbedScenario.builder()
+        .vehicles(n_vehicles_per_rsu)
+        .duration(duration_s)
+        .seed(seed)
+        .handover(handover_fraction)
+        .corridor(motorways=motorways, dataset=dataset)
     )
     result = scenario.run()
 

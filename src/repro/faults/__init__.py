@@ -1,0 +1,30 @@
+"""Fault injection for the resilience experiments.
+
+Declarative fault events (:mod:`repro.faults.events`) scheduled onto a
+running scenario by the :class:`~repro.faults.injector.FaultInjector`.
+"""
+
+from repro.faults.events import (
+    BrokerCrash,
+    BurstLoss,
+    FaultEvent,
+    FaultProfile,
+    LinkPartition,
+    RsuKill,
+    corridor_profiles,
+    profile,
+)
+from repro.faults.injector import FaultInjector, FaultRecord
+
+__all__ = [
+    "BrokerCrash",
+    "BurstLoss",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultRecord",
+    "LinkPartition",
+    "RsuKill",
+    "corridor_profiles",
+    "profile",
+]

@@ -14,7 +14,14 @@ All estimators follow the same minimal contract:
   by ``self.classes_``.
 """
 
-from repro.ml.base import EstimatorError, NotFittedError, check_Xy, check_fitted
+from repro.ml.base import (
+    Detector,
+    EstimatorError,
+    NotFittedError,
+    as_detector,
+    check_Xy,
+    check_fitted,
+)
 from repro.ml.decision_tree import DecisionTreeClassifier
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.logistic import LogisticRegression
@@ -32,12 +39,14 @@ from repro.ml.naive_bayes import GaussianNaiveBayes
 __all__ = [
     "BinaryClassificationReport",
     "DecisionTreeClassifier",
+    "Detector",
     "EstimatorError",
     "GaussianNaiveBayes",
     "LogisticRegression",
     "NotFittedError",
     "RandomForestClassifier",
     "accuracy_score",
+    "as_detector",
     "check_Xy",
     "check_fitted",
     "confusion_matrix",

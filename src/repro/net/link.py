@@ -9,7 +9,7 @@ delay.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 
 class WiredLink:
@@ -41,18 +41,38 @@ class WiredLink:
         self.bandwidth_bps = bandwidth_bps
         self.name = name
         self._busy_until = 0.0
+        self.up = True
         self.bytes_sent = 0
         self.packets_sent = 0
+        self.packets_dropped = 0
 
     def serialization_s(self, packet_bytes: int) -> float:
         return packet_bytes * 8.0 / self.bandwidth_bps
 
+    # ------------------------------------------------------------------
+    # Partition (fault injection)
+    # ------------------------------------------------------------------
+    def set_down(self) -> None:
+        """Partition the link: sends drop until :meth:`set_up`."""
+        self.up = False
+
+    def set_up(self) -> None:
+        self.up = True
+
     def send(
         self, packet_bytes: int, on_delivered: Callable[[float], None]
-    ) -> float:
-        """Queue one packet; returns (and schedules) its delivery time."""
+    ) -> Optional[float]:
+        """Queue one packet; returns (and schedules) its delivery time.
+
+        On a partitioned link the packet is dropped (counted, no
+        callback) and ``None`` is returned — there is no transport-
+        level retransmission on this pipe; senders own their recovery.
+        """
         if packet_bytes <= 0:
             raise ValueError(f"packet size must be positive: {packet_bytes}")
+        if not self.up:
+            self.packets_dropped += 1
+            return None
         start = max(self.sim.now, self._busy_until)
         done_serializing = start + self.serialization_s(packet_bytes)
         self._busy_until = done_serializing

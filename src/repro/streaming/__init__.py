@@ -19,10 +19,15 @@ consumers poll.  This package implements those semantics in-process:
   and motorway-link RSUs".
 """
 
-from repro.streaming.broker import Broker, BrokerError, TopicNotFound
+from repro.streaming.broker import (
+    Broker,
+    BrokerError,
+    BrokerUnavailable,
+    TopicNotFound,
+)
 from repro.streaming.cluster import Cluster
 from repro.streaming.consumer import Consumer
-from repro.streaming.producer import Producer
+from repro.streaming.producer import Producer, RetryPolicy
 from repro.streaming.records import ConsumerRecord, RecordMetadata
 from repro.streaming.serde import JsonSerde, RawSerde, Serde
 from repro.streaming.topic import Partition, Topic
@@ -30,6 +35,7 @@ from repro.streaming.topic import Partition, Topic
 __all__ = [
     "Broker",
     "BrokerError",
+    "BrokerUnavailable",
     "Cluster",
     "Consumer",
     "ConsumerRecord",
@@ -38,6 +44,7 @@ __all__ = [
     "Producer",
     "RawSerde",
     "RecordMetadata",
+    "RetryPolicy",
     "Serde",
     "Topic",
     "TopicNotFound",

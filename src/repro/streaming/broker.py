@@ -23,6 +23,15 @@ class TopicNotFound(BrokerError):
     """Operation on a topic that does not exist."""
 
 
+class BrokerUnavailable(BrokerError):
+    """The broker is down (crashed, or the ack was lost in flight).
+
+    Clients treat this as Kafka's retriable errors
+    (``NotEnoughReplicas`` / request timeout): the resilient producer
+    buffers and retries with backoff, consumers skip the poll.
+    """
+
+
 class Broker:
     """An in-process event-streaming server.
 
@@ -46,12 +55,63 @@ class Broker:
         self._committed: Dict[Tuple[str, str, int], int] = {}
         self.coordinator = GroupCoordinator()
         # topic -> list of callbacks fired on every produce (wakeup
-        # dissemination; see subscribe_notify).
+        # dissemination; see subscribe_notify).  Callbacks may be
+        # registered before their topic exists: produce looks the list
+        # up by name, so they attach the moment the topic gets traffic.
         self._notify: Dict[str, List[Callable[[RecordMetadata], None]]] = {}
+        # (producer_id, topic) -> (last accepted sequence, its metadata):
+        # the idempotent-produce dedupe table (Kafka's per-partition
+        # producer state, collapsed to per-topic at this model's scale).
+        self._producer_state: Dict[Tuple[str, str], Tuple[int, RecordMetadata]] = {}
+        self._available = True
+        #: Simulated-time horizon below which produce acks are "lost":
+        #: the record is appended but the producer sees a failure —
+        #: the window where idempotence earns its keep.
+        self._drop_acks_until = float("-inf")
         self.bytes_in = 0
         self.bytes_out = 0
         self.records_in = 0
         self.records_out = 0
+        self.duplicates_rejected = 0
+        self.crashes = 0
+
+    # ------------------------------------------------------------------
+    # Availability (fault injection)
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        return self._available
+
+    def shutdown(self) -> None:
+        """Crash the broker: produce/fetch/commit raise until restart.
+
+        The log and committed offsets survive (they model the durable
+        on-disk state a real broker recovers from); only availability
+        is lost.
+        """
+        if self._available:
+            self._available = False
+            self.crashes += 1
+
+    def restart(self) -> None:
+        """Bring a crashed broker back with its durable state intact."""
+        self._available = True
+
+    def drop_acks_until(self, until_time: float) -> None:
+        """Lose produce acks until simulated time ``until_time``.
+
+        Each produce in the window appends normally but raises
+        :class:`BrokerUnavailable`, so a retrying producer re-sends a
+        record the log already holds — exactly the double-count that
+        idempotent produce (sequence numbers) must reject.
+        """
+        self._drop_acks_until = until_time
+
+    def _check_available(self, operation: str) -> None:
+        if not self._available:
+            raise BrokerUnavailable(
+                f"broker {self.name!r} is down ({operation} refused)"
+            )
 
     # ------------------------------------------------------------------
     # Topic management
@@ -99,8 +159,25 @@ class Broker:
         key: Optional[bytes] = None,
         partition: Optional[int] = None,
         timestamp: Optional[float] = None,
+        producer_id: Optional[str] = None,
+        sequence: Optional[int] = None,
     ) -> RecordMetadata:
-        """Append a serialized record, returning its metadata."""
+        """Append a serialized record, returning its metadata.
+
+        With ``producer_id`` and ``sequence`` set the append is
+        idempotent: a sequence at or below the producer's last accepted
+        one is a retry of a record the log already holds, so the broker
+        skips the append and returns the original metadata (Kafka's
+        exactly-once-per-partition producer protocol).
+        """
+        self._check_available("produce")
+        state_key = None
+        if producer_id is not None and sequence is not None:
+            state_key = (producer_id, topic_name)
+            state = self._producer_state.get(state_key)
+            if state is not None and sequence <= state[0]:
+                self.duplicates_rejected += 1
+                return state[1]
         topic = self.topic(topic_name)
         index = topic.route(key) if partition is None else partition
         log = topic.partition(index)
@@ -116,10 +193,18 @@ class Broker:
             timestamp=record_time,
             serialized_size=size,
         )
+        if state_key is not None:
+            self._producer_state[state_key] = (sequence, metadata)
         callbacks = self._notify.get(topic_name)
         if callbacks:
             for callback in list(callbacks):
                 callback(metadata)
+        if self._clock() < self._drop_acks_until:
+            # The append happened; the ack did not make it back.
+            raise BrokerUnavailable(
+                f"broker {self.name!r} lost the produce ack for "
+                f"{topic_name!r}[{index}]@{offset}"
+            )
         return metadata
 
     def subscribe_notify(
@@ -133,8 +218,12 @@ class Broker:
         broker tells it a record landed.  Returns a zero-argument
         cancel function.  Real Kafka has no such push channel — keep
         polling mode when reproducing the paper's latency numbers.
+
+        Registration does not require the topic to exist yet: a
+        callback registered early simply waits for the topic's first
+        produce (registering before topic creation used to drop the
+        callback silently).
         """
-        self.topic(topic_name)  # validate existence
         callbacks = self._notify.setdefault(topic_name, [])
         callbacks.append(callback)
 
@@ -154,6 +243,7 @@ class Broker:
         max_records: int = 500,
     ) -> List[StoredRecord]:
         """Read records from one partition starting at ``from_offset``."""
+        self._check_available("fetch")
         records = self.topic(topic_name).partition(partition).read(
             from_offset, max_records
         )
@@ -171,6 +261,7 @@ class Broker:
         self, group: str, topic_name: str, partition: int, offset: int
     ) -> None:
         """Store a consumer group's committed offset."""
+        self._check_available("commit")
         if offset < 0:
             raise BrokerError(f"cannot commit negative offset {offset}")
         self.topic(topic_name).partition(partition)  # validate existence
@@ -188,6 +279,7 @@ class Broker:
             "bytes_out": self.bytes_out,
             "records_in": self.records_in,
             "records_out": self.records_out,
+            "duplicates_rejected": self.duplicates_rejected,
         }
 
     def __repr__(self) -> str:

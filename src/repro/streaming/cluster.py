@@ -61,8 +61,14 @@ class Cluster:
 
     def total_stats(self) -> Dict[str, int]:
         """Summed accounting across all brokers."""
-        totals = {"bytes_in": 0, "bytes_out": 0, "records_in": 0, "records_out": 0}
+        totals: Dict[str, int] = {
+            "bytes_in": 0,
+            "bytes_out": 0,
+            "records_in": 0,
+            "records_out": 0,
+            "duplicates_rejected": 0,
+        }
         for broker in self._brokers.values():
             for key, value in broker.stats().items():
-                totals[key] += value
+                totals[key] = totals.get(key, 0) + value
         return totals

@@ -1,0 +1,71 @@
+"""Fault-event dataclasses and the named corridor profiles."""
+
+import pytest
+
+from repro.faults import (
+    BrokerCrash,
+    BurstLoss,
+    FaultProfile,
+    LinkPartition,
+    RsuKill,
+    corridor_profiles,
+    profile,
+)
+
+
+class TestFaultProfile:
+    def test_events_coerced_to_tuple(self):
+        prof = FaultProfile("p", [BrokerCrash("rsu-mw-1", at_s=1.0)])
+        assert isinstance(prof.events, tuple)
+        assert len(prof.events) == 1
+
+    def test_profiles_are_hashable(self):
+        a = FaultProfile("p", (BrokerCrash("rsu-mw-1", at_s=1.0),))
+        b = FaultProfile("p", (BrokerCrash("rsu-mw-1", at_s=1.0),))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestCorridorProfiles:
+    def test_known_names(self):
+        names = set(corridor_profiles())
+        assert names == {
+            "broker_crash",
+            "rsu_kill",
+            "partition",
+            "burst_loss",
+            "chaos",
+        }
+
+    def test_events_scale_with_duration(self):
+        short = profile("chaos", duration_s=4.0)
+        long = profile("chaos", duration_s=10.0)
+        crash_short = short.events[0]
+        crash_long = long.events[0]
+        assert crash_short.at_s == pytest.approx(1.6)
+        assert crash_long.at_s == pytest.approx(4.0)
+        # Restart stays within the run even on short corridors.
+        assert crash_short.at_s + crash_short.restart_after_s < 4.0
+
+    def test_chaos_overlaps_crash_and_burst(self):
+        chaos = profile("chaos", duration_s=6.0)
+        kinds = {type(e) for e in chaos.events}
+        assert kinds == {BrokerCrash, BurstLoss}
+        crash = next(e for e in chaos.events if isinstance(e, BrokerCrash))
+        burst = next(e for e in chaos.events if isinstance(e, BurstLoss))
+        assert burst.at_s <= crash.at_s + crash.restart_after_s
+        assert burst.at_s + burst.duration_s > crash.at_s
+
+    def test_unknown_profile_lists_known_names(self):
+        with pytest.raises(KeyError, match="broker_crash"):
+            profile("no-such-profile")
+
+    def test_partition_targets_an_existing_link(self):
+        part = profile("partition").events[0]
+        assert isinstance(part, LinkPartition)
+        assert (part.src, part.dst) == ("rsu-mw-1", "rsu-mw-link")
+
+    def test_rsu_kill_names_a_fallback(self):
+        kill = profile("rsu_kill").events[0]
+        assert isinstance(kill, RsuKill)
+        assert kill.failover_to == "rsu-mw-2"

@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Sharded-corridor benchmark: parallel engine vs single-process.
+
+Runs the same city-scale corridor spec through the single-process
+columnar engine and through :class:`~repro.parallel.engine.
+ShardedScenario`, on the same dataset and fitted detectors, and pins:
+
+- **critical-path speedup >= 2.5x at 4 workers** — serial CPU seconds
+  over the parallel run's CPU critical path (slowest shard's build +
+  per barrier window the slowest shard's step + engine routing).  The
+  critical path is what wall clock converges to on a host with
+  ``workers`` free cores; measured wall for both modes is reported
+  next to ``host_cpus`` so a reader can see when the host is too small
+  for wall to show the speedup directly.
+- **bit-identical warnings** — the parallel run must produce exactly
+  the warning tuples of the serial run, per RSU, in order.
+- **zero undelivered cross-shard frames**.
+
+Each timing repeat pairs a fresh serial run with a fresh parallel run
+back to back and the pinned figure is the median paired speedup, so
+host-load drift cannot flake the gate.
+
+Writes ``BENCH_3.json`` and exits non-zero on any violated bound.  In
+full mode the artifact also embeds the smoke-sized measurement, so CI
+(which runs ``--smoke``) can regression-check like against like via
+``benchmarks/regression_check.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.system import default_training_dataset  # noqa: E402
+from repro.experiments.parallel import parallel_corridor  # noqa: E402
+
+#: Acceptance bound from the issue: >= 2.5x at 4 workers on the
+#: >= 8-RSU corridor.
+FULL_TARGET = 2.5
+#: The 2-worker smoke config must still beat serial, but its job is
+#: the correctness gate, not the headline number.
+SMOKE_TARGET = 1.1
+
+#: The full corridor keeps the handover influx at 1/8 so the link RSU
+#: (which cannot be split across shards) does not dominate the
+#: post-handover windows; see the load analysis in
+#: docs/ARCHITECTURE.md.
+FULL_SIZES = {
+    "motorways": 8,
+    "vehicles_per_rsu": 32,
+    "duration_s": 4.0,
+    "handover_fraction": 0.125,
+    "workers": 4,
+    "repeats": 3,
+}
+SMOKE_SIZES = {
+    "motorways": 4,
+    "vehicles_per_rsu": 6,
+    "duration_s": 1.5,
+    "handover_fraction": 0.25,
+    "workers": 2,
+    "repeats": 3,
+}
+
+
+def run_config(sizes, dataset, target):
+    report = parallel_corridor(
+        n_vehicles=sizes["vehicles_per_rsu"],
+        duration_s=sizes["duration_s"],
+        motorways=sizes["motorways"],
+        workers=sizes["workers"],
+        handover_fraction=sizes["handover_fraction"],
+        dataset=dataset,
+        repeats=sizes["repeats"],
+    )
+    failures = []
+    if report.critical_path_speedup < target:
+        failures.append(
+            f"critical-path speedup {report.critical_path_speedup:.2f}x "
+            f"< {target}x"
+        )
+    if not report.warnings_identical:
+        failures.append("parallel warnings diverge from single-process")
+    if report.undelivered_frames:
+        failures.append(
+            f"{report.undelivered_frames} cross-shard frames undelivered"
+        )
+    section = {
+        "sizes": sizes,
+        "rsus": sizes["motorways"] + 1,
+        "serial": {
+            "cpu_s": round(report.serial_cpu_s, 4),
+            "wall_s": round(report.serial_wall_s, 4),
+            "records_per_s": round(report.serial_records_per_s),
+        },
+        "parallel": {
+            "critical_path_cpu_s": round(report.critical_path_cpu_s, 4),
+            "total_worker_cpu_s": round(report.total_worker_cpu_s, 4),
+            "engine_cpu_s": round(report.engine_cpu_s, 4),
+            "build_cpu_s": [round(b, 4) for b in report.build_cpu_s],
+            "wall_s": round(report.parallel_wall_s, 4),
+            "records_per_s": round(report.parallel_records_per_s),
+            "windows": report.windows,
+            "shards": report.shard_assignments,
+        },
+        "records": report.records,
+        "warnings": report.warnings,
+        "speedup_mode": "critical_path",
+        "speedup_samples": report.speedup_samples,
+        "critical_path_speedup": round(report.critical_path_speedup, 3),
+        "measured_wall_speedup": round(report.measured_wall_speedup, 3),
+        "work_inflation": round(report.work_inflation, 3),
+        "warnings_identical": report.warnings_identical,
+        "undelivered_frames": report.undelivered_frames,
+        "target_speedup": target,
+        "regression_metrics": {
+            "critical_path_speedup": round(report.critical_path_speedup, 3),
+            "serial_records_per_s": round(report.serial_records_per_s),
+            "parallel_records_per_s": round(report.parallel_records_per_s),
+        },
+        "failures": failures,
+        "pass": not failures,
+    }
+    return report, section
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="2 workers, reduced corridor (the CI configuration)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_3.json",
+        help="output path (default: repo-root BENCH_3.json)",
+    )
+    args = parser.parse_args(argv)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+
+    mode = "smoke" if args.smoke else "full"
+    print(f"parallel harness ({mode} mode)")
+    print("building shared workload (corridor dataset + detectors)...")
+    dataset = default_training_dataset(seed=11)
+
+    start = time.perf_counter()
+    if args.smoke:
+        report, primary = run_config(SMOKE_SIZES, dataset, SMOKE_TARGET)
+        sections = {"smoke": primary}
+    else:
+        report, primary = run_config(FULL_SIZES, dataset, FULL_TARGET)
+        print(report.format_report())
+        print("smoke-sized reference run (for CI regression baseline)...")
+        smoke_report, smoke_section = run_config(
+            SMOKE_SIZES, dataset, SMOKE_TARGET
+        )
+        sections = {"full": primary, "smoke": smoke_section}
+        primary["failures"] += [
+            f"smoke: {f}" for f in smoke_section["failures"]
+        ]
+    if args.smoke:
+        print(report.format_report())
+
+    out = {
+        "bench": "BENCH_3",
+        "mode": mode,
+        "host_cpus": report.host_cpus,
+        "speedup_mode": "critical_path",
+        **sections,
+        "wall_s": round(time.perf_counter() - start, 2),
+        "pass": all(section["pass"] for section in sections.values()),
+    }
+    args.out.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not out["pass"]:
+        for section in sections.values():
+            for failure in section["failures"]:
+                print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"PASS: {primary['critical_path_speedup']}x critical-path speedup "
+        f"at {primary['sizes']['workers']} workers "
+        f"(target >= {primary['target_speedup']}x), warnings bit-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

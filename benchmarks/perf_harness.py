@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import gc
 import json
 import sys
 import time
@@ -113,6 +114,7 @@ def bench_simulator(n_events):
 
     for index in range(n_events):
         sim.at(index * 1e-6, tick)
+    gc.collect()
     start = time.perf_counter()
     sim.run()
     wall = time.perf_counter() - start
@@ -131,10 +133,12 @@ def bench_serde(envelopes):
     out = {}
 
     for name, serde in (("json", json_serde), ("struct", struct_serde)):
+        gc.collect()
         start = time.perf_counter()
         payloads = [serde.serialize(e) for e in envelopes]
         ser_wall = time.perf_counter() - start
         total_bytes = sum(len(p) for p in payloads)
+        gc.collect()
         start = time.perf_counter()
         decoded = [serde.deserialize(p) for p in payloads]
         de_wall = time.perf_counter() - start
@@ -152,6 +156,7 @@ def bench_serde(envelopes):
     # np.frombuffer over the whole batch.
     struct_raw = [struct_serde.serialize(e) for e in envelopes]
     struct_bytes = sum(len(p) for p in struct_raw)
+    gc.collect()
     start = time.perf_counter()
     block = decode_telemetry_block(struct_raw, serde=struct_serde)
     batch_wall = time.perf_counter() - start
@@ -197,6 +202,7 @@ def bench_rsu_micro_batch(detector, records, n_records):
                 )
             ticks = n_records // BATCH_SIZE + 2
             rsu.start(until=ticks * rsu.config.batch_interval_s)
+            gc.collect()
             start = time.perf_counter()
             sim.run()
             wall = time.perf_counter() - start
@@ -243,6 +249,7 @@ def bench_scenarios(dataset, duration_s, n_vehicles):
             .serde(profile)
             .corridor(motorways=2, dataset=dataset)
         )
+        gc.collect()
         start = time.perf_counter()
         result = scenario.run()
         wall = time.perf_counter() - start

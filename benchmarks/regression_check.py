@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Throughput-regression gate against a committed BENCH_*.json.
+
+Compares a freshly produced benchmark artifact (``--candidate``)
+against the committed baseline of the same bench id and fails when any
+shared metric regresses by more than ``--tolerance`` (default 20 %).
+
+Two metric classes:
+
+- **ratio metrics** (speedups, decode ratios) are same-host relative,
+  so they transfer across machines; they are always compared.
+- **absolute throughputs** (``*_per_s``) only mean something when the
+  candidate ran on comparable hardware; they are compared only with
+  ``--absolute``.
+
+For ``BENCH_3`` the comparison is mode-aware: a ``--smoke`` candidate
+is compared against the smoke-sized section the full harness embeds in
+the committed artifact, so CI checks like against like.
+
+Exit status: 0 when no compared metric regressed, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_TOLERANCE = 0.20
+
+
+def _bench3_metrics(report: dict, mode: str) -> dict:
+    """The regression_metrics dict for the requested mode, from either
+    a full artifact (which embeds both sections) or a smoke one."""
+    section = report.get(mode)
+    if section is None and mode == "full" and report.get("mode") == "smoke":
+        raise SystemExit(
+            "baseline/candidate is smoke-mode only; no full section to "
+            "compare"
+        )
+    if section is None:
+        raise SystemExit(f"no {mode!r} section in BENCH_3 artifact")
+    return dict(section["regression_metrics"])
+
+
+def extract_metrics(report: dict, mode: str) -> dict:
+    bench = report.get("bench")
+    if bench == "BENCH_3":
+        return _bench3_metrics(report, mode)
+    if bench == "BENCH_1":
+        return {
+            "rsu_micro_batch_speedup": report["rsu_micro_batch"]["speedup"],
+            "serde_decode_ratio": report["serde"]["decode_throughput_ratio"],
+            "columnar_struct_records_per_s": report["rsu_micro_batch"][
+                "variants"
+            ]["columnar+struct"]["records_per_s"],
+            "struct_batch_decode_records_per_s": report["serde"]["struct"][
+                "batch_decode_records_per_s"
+            ],
+        }
+    raise SystemExit(f"no metric extractor for bench id {bench!r}")
+
+
+def is_ratio_metric(name: str) -> bool:
+    return "speedup" in name or name.endswith("_ratio")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--candidate",
+        type=Path,
+        required=True,
+        help="freshly produced BENCH_*.json to check",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="committed artifact (default: repo-root <bench>.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional regression (default: 0.20)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="also compare absolute *_per_s throughputs (same-host runs)",
+    )
+    args = parser.parse_args(argv)
+
+    candidate = json.loads(args.candidate.read_text())
+    bench = candidate.get("bench")
+    baseline_path = args.baseline or REPO_ROOT / f"{bench}.json"
+    if not baseline_path.exists():
+        raise SystemExit(f"no committed baseline at {baseline_path}")
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("bench") != bench:
+        raise SystemExit(
+            f"bench mismatch: candidate {bench!r} vs baseline "
+            f"{baseline.get('bench')!r}"
+        )
+    if not baseline.get("pass", False):
+        raise SystemExit(f"committed baseline {baseline_path} is failing")
+
+    mode = candidate.get("mode", "full") if bench == "BENCH_3" else "full"
+    candidate_metrics = extract_metrics(candidate, mode)
+    baseline_metrics = extract_metrics(baseline, mode)
+
+    shared = sorted(set(candidate_metrics) & set(baseline_metrics))
+    failures = []
+    compared = 0
+    print(
+        f"{bench} regression check ({mode} mode, "
+        f"tolerance {args.tolerance:.0%}) vs {baseline_path.name}"
+    )
+    for name in shared:
+        if not is_ratio_metric(name) and not args.absolute:
+            print(f"  {name:<36} skipped (absolute; use --absolute)")
+            continue
+        compared += 1
+        base, cand = baseline_metrics[name], candidate_metrics[name]
+        floor = base * (1.0 - args.tolerance)
+        verdict = "ok" if cand >= floor else "REGRESSED"
+        print(
+            f"  {name:<36} {cand:>12,.3f} vs {base:>12,.3f} "
+            f"(floor {floor:,.3f})  {verdict}"
+        )
+        if cand < floor:
+            failures.append(name)
+    if compared == 0:
+        raise SystemExit("no comparable metrics between the two artifacts")
+    if failures:
+        print(
+            f"FAIL: {len(failures)} metric(s) regressed > "
+            f"{args.tolerance:.0%}: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"PASS: {compared} metric(s) within {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

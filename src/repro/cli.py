@@ -167,6 +167,22 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_parallel(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import parallel_corridor
+
+    report = parallel_corridor(
+        n_vehicles=args.vehicles,
+        duration_s=args.duration,
+        motorways=args.motorways,
+        workers=args.workers,
+        seed=args.seed,
+        handover_fraction=args.handover_fraction,
+        repeats=args.repeats,
+    )
+    print(report.format_report())
+    return 0 if report.warnings_identical else 1
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     """Run every paper experiment at reduced scale, in order."""
     from repro.core.system import default_training_dataset
@@ -339,6 +355,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resilience.add_argument("--seed", type=int, default=7, help="scenario seed")
     resilience.set_defaults(func=_cmd_resilience)
+
+    parallel = commands.add_parser(
+        "parallel",
+        help="sharded multi-process corridor vs single-process (speedup "
+        "+ bit-identical warnings)",
+    )
+    parallel.add_argument(
+        "--vehicles", type=int, default=16, help="vehicles per RSU"
+    )
+    parallel.add_argument(
+        "--duration", type=float, default=4.0, help="simulated seconds"
+    )
+    parallel.add_argument(
+        "--motorways", type=int, default=8, help="motorway RSUs in the corridor"
+    )
+    parallel.add_argument(
+        "--workers", type=int, default=4, help="shard worker processes"
+    )
+    parallel.add_argument(
+        "--handover-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of each motorway's vehicles handed to the link RSU",
+    )
+    parallel.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="timing repeats (noise-floored, see experiments.parallel)",
+    )
+    parallel.add_argument("--seed", type=int, default=7, help="scenario seed")
+    parallel.set_defaults(func=_cmd_parallel)
 
     reproduce = commands.add_parser(
         "reproduce",

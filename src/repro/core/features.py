@@ -8,7 +8,8 @@ carries the prediction summaries RSUs exchange at handover.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from functools import lru_cache
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +25,22 @@ CO_DATA = "CO-DATA"
 ROAD_TYPE_CODE: Dict[RoadType, int] = {
     road_type: index for index, road_type in enumerate(RoadType)
 }
+
+#: Wire-value -> enum member lookup tables, so the per-record decode
+#: path avoids the enum constructor's value scan.
+_ROAD_TYPE_BY_VALUE: Dict[Any, RoadType] = {t.value: t for t in RoadType}
+_ANOMALY_KIND_BY_VALUE: Dict[Any, AnomalyKind] = {k.value: k for k in AnomalyKind}
+
+
+@lru_cache(maxsize=None)
+def road_hour_context(road_type: RoadType, hour: int) -> Tuple[float, float]:
+    """``(hour, road_type_code)`` feature context for one record.
+
+    There are only ``len(RoadType) * 24`` distinct contexts, so the
+    scalar fallback path memoizes them instead of recomputing the enum
+    lookup and float conversions per record.
+    """
+    return (float(hour), float(ROAD_TYPE_CODE[road_type]))
 
 
 def _feature_columns(records) -> tuple:
@@ -43,11 +60,12 @@ def _feature_columns(records) -> tuple:
             records.hour.astype(np.float64),
             records.road_type_code.astype(np.float64),
         )
+    contexts = [road_hour_context(r.road_type, r.hour) for r in records]
     return (
         np.array([r.speed_kmh for r in records]),
         np.array([r.accel_ms2 for r in records]),
-        np.array([float(r.hour) for r in records]),
-        np.array([float(ROAD_TYPE_CODE[r.road_type]) for r in records]),
+        np.array([hour for hour, _ in contexts]),
+        np.array([code for _, code in contexts]),
     )
 
 
@@ -148,6 +166,8 @@ def record_to_payload(record: TelemetryRecord) -> Dict[str, Any]:
 
 def payload_to_record(payload: Dict[str, Any]) -> TelemetryRecord:
     """Inverse of :func:`record_to_payload`."""
+    rt = payload["rt"]
+    ak = payload.get("ak", "none")
     return TelemetryRecord(
         car_id=int(payload["car"]),
         road_id=int(payload["rd"]),
@@ -155,10 +175,10 @@ def payload_to_record(payload: Dict[str, Any]) -> TelemetryRecord:
         speed_kmh=float(payload["spd"]),
         hour=int(payload["hr"]),
         day=int(payload["day"]),
-        road_type=RoadType(payload["rt"]),
+        road_type=_ROAD_TYPE_BY_VALUE.get(rt) or RoadType(rt),
         road_mean_speed_kmh=float(payload["vr"]),
         timestamp=float(payload["ts"]),
-        anomaly_kind=AnomalyKind(payload.get("ak", "none")),
+        anomaly_kind=_ANOMALY_KIND_BY_VALUE.get(ak) or AnomalyKind(ak),
         label=payload.get("lbl"),
     )
 

@@ -169,6 +169,11 @@ class RsuNode:
         # Measurements
         self.events: DetectionEventLog = DetectionEventLog()
         self.warnings_issued = 0
+        #: Every warning emitted, in emission order:
+        #: ``(detected_at, car_id, road_id, speed_kmh, generated_at)``.
+        #: The sharded engine's golden-equivalence checks compare these
+        #: tuples exactly against the single-process run.
+        self.warning_records: List[Tuple[float, int, int, float, float]] = []
         #: Warnings appended but unacknowledged (broker ack-loss
         #: window); they still reach vehicles.
         self.warnings_ack_lost = 0
@@ -495,6 +500,13 @@ class RsuNode:
             self.warnings_ack_lost += 1
             return
         self.warnings_issued += 1
+        self.warning_records.append(
+            (detected_at, car_id, road_id, speed_kmh, generated_at)
+        )
+
+    def warning_log(self) -> List[Tuple[float, int, int, float, float]]:
+        """The acknowledged warnings, in emission order."""
+        return list(self.warning_records)
 
     # ------------------------------------------------------------------
     # Collaboration (handover)

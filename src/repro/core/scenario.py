@@ -80,10 +80,19 @@ class ScenarioSpec:
     #: Seconds of CO-DATA silence before collaborating RSUs degrade to
     #: road-only detection (``None`` disables degradation).
     upstream_timeout_s: Optional[float] = None
+    #: Worker processes the corridor's RSUs are partitioned across.
+    #: ``1`` (the seed behaviour) runs single-process; ``> 1`` makes
+    #: the :meth:`~ScenarioBuilder.corridor` terminal return a
+    #: :class:`~repro.parallel.engine.ShardedScenario`.  Shard count
+    #: never changes results: per-actor RNG streams are seeded by name
+    #: and the barrier protocol preserves event ordering.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.n_vehicles < 1:
             raise ValueError("need at least one vehicle")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
         if self.duration_s <= 0:
             raise ValueError("duration must be positive")
         if not 0.0 <= self.handover_fraction <= 1.0:
@@ -188,6 +197,16 @@ class ScenarioBuilder:
     def columnar(self, enabled: bool = True) -> "ScenarioBuilder":
         return self._set(columnar=enabled)
 
+    def shards(self, count: int) -> "ScenarioBuilder":
+        """Partition the corridor across ``count`` worker processes.
+
+        With ``count > 1`` the :meth:`corridor` terminal returns a
+        :class:`~repro.parallel.engine.ShardedScenario` (same ``run()``
+        surface, warning-for-warning identical results); the other
+        topologies reject sharding.
+        """
+        return self._set(shards=count)
+
     # ------------------------------------------------------------------
     # Resilience
     # ------------------------------------------------------------------
@@ -226,14 +245,23 @@ class ScenarioBuilder:
         """The finished spec (for code that wires its own topology)."""
         return self._spec
 
+    def _require_single_process(self, topology: str) -> None:
+        if self._spec.shards > 1:
+            raise ValueError(
+                f"the {topology} topology does not support sharding; "
+                "only corridor() runs with shards > 1"
+            )
+
     def single_rsu(self, dataset=None):
         from repro.core.system import TestbedScenario
 
+        self._require_single_process("single_rsu")
         return TestbedScenario.single_rsu(self._spec, dataset=dataset)
 
     def single_rsu_cloud(self, dataset=None, cloud=None):
         from repro.core.system import TestbedScenario
 
+        self._require_single_process("single_rsu_cloud")
         return TestbedScenario.single_rsu_cloud(
             self._spec, dataset=dataset, cloud=cloud
         )
@@ -246,6 +274,15 @@ class ScenarioBuilder:
     ):
         from repro.core.system import TestbedScenario
 
+        if self._spec.shards > 1:
+            from repro.parallel.engine import ShardedScenario
+
+            return ShardedScenario(
+                self._spec,
+                motorways=motorways,
+                dataset=dataset,
+                link_detector_kind=link_detector_kind,
+            )
         return TestbedScenario.corridor(
             self._spec,
             motorways=motorways,
@@ -256,6 +293,7 @@ class ScenarioBuilder:
     def chain(self, hops: int = 3, dataset=None):
         from repro.core.system import TestbedScenario
 
+        self._require_single_process("chain")
         return TestbedScenario.chain(self._spec, hops=hops, dataset=dataset)
 
 

@@ -243,6 +243,77 @@ def default_training_dataset(seed: int = 11, n_cars: int = 150):
     return dataset
 
 
+@dataclass
+class ScenarioBundle:
+    """Fitted detectors and replay record pools for one scenario.
+
+    Built once in the parent process; forked shard workers share it
+    copy-on-write, so every shard materializes from byte-identical
+    models and record pools.
+    """
+
+    detectors: Dict[str, object]
+    pools: Dict[str, List[TelemetryRecord]]
+
+
+def corridor_bundle(
+    config: ScenarioSpec,
+    dataset=None,
+    link_detector_kind: str = "cad3",
+) -> ScenarioBundle:
+    """Train the corridor's detectors and split its replay pools.
+
+    ``link_detector_kind`` selects what the link RSU runs: ``"cad3"``
+    (the collaborative detector, default) or ``"ad3"`` (standalone NB).
+    """
+    if link_detector_kind not in ("cad3", "ad3"):
+        raise ValueError(f"unknown link_detector_kind: {link_detector_kind!r}")
+    dataset = dataset or default_training_dataset(config.seed)
+    train, replay = TestbedScenario._train_replay_split(dataset)
+    motorway_train = [r for r in train if r.road_type is RoadType.MOTORWAY]
+    link_train = [r for r in train if r.road_type is RoadType.MOTORWAY_LINK]
+    motorway_records = [r for r in replay if r.road_type is RoadType.MOTORWAY]
+    link_records = [r for r in replay if r.road_type is RoadType.MOTORWAY_LINK]
+
+    motorway_detector = AD3Detector(RoadType.MOTORWAY).fit(motorway_train)
+    if link_detector_kind == "cad3":
+        summaries = summaries_from_upstream(motorway_detector, motorway_train)
+        link_detector = CollaborativeDetector(RoadType.MOTORWAY_LINK).fit(
+            link_train, summaries
+        )
+    else:
+        link_detector = AD3Detector(RoadType.MOTORWAY_LINK).fit(link_train)
+    return ScenarioBundle(
+        detectors={"motorway": motorway_detector, "link": link_detector},
+        pools={"motorway": motorway_records, "link": link_records},
+    )
+
+
+def collect_rsu_metrics(
+    rsus: Dict[str, "RsuNode"], duration_s: float
+) -> Dict[str, RsuMetrics]:
+    """Per-RSU metrics after a run (shared with the shard workers)."""
+    rsu_metrics = {}
+    for name, rsu in rsus.items():
+        tx = rsu.events.tx_s()
+        queuing = rsu.events.queuing_s()
+        rsu_metrics[name] = RsuMetrics(
+            name=name,
+            mean_processing_ms=rsu.mean_processing_ms(),
+            bandwidth_in_bps=rsu.bandwidth_in_bps(duration_s),
+            n_events=len(rsu.events),
+            warnings_issued=rsu.warnings_issued,
+            summaries_sent=rsu.summaries_sent,
+            summaries_received=rsu.summaries_received,
+            mean_tx_ms=float(np.mean(tx)) * 1e3 if tx.size else 0.0,
+            mean_queuing_ms=(
+                float(np.mean(queuing)) * 1e3 if queuing.size else 0.0
+            ),
+            detection=rsu.detection_report(),
+        )
+    return rsu_metrics
+
+
 class TestbedScenario:
     """A wired-up simulation ready to :meth:`run`."""
 
@@ -317,14 +388,32 @@ class TestbedScenario:
         records: Sequence[TelemetryRecord],
     ) -> List[VehicleNode]:
         """Attach ``count`` vehicles to an RSU, striping ``records``."""
+        car_ids = tuple(
+            range(self._next_car_id, self._next_car_id + count)
+        )
+        return self.add_vehicles_with_ids(rsu_name, car_ids, records)
+
+    def add_vehicles_with_ids(
+        self,
+        rsu_name: str,
+        car_ids: Sequence[int],
+        records: Sequence[TelemetryRecord],
+    ) -> List[VehicleNode]:
+        """Attach vehicles with explicit identities, striping ``records``.
+
+        Shard workers build only their own vehicle groups, so car ids
+        (and the ``vehicle.{car_id}`` RNG stream names derived from
+        them) must come from the topology, not a build-order counter.
+        Vehicle ``car_ids[i]`` replays stripe ``records[i::len(car_ids)]``
+        — identical to the counter-based path for a full group.
+        """
         if not records:
             raise ValueError("need a non-empty record pool")
         rsu = self.rsus[rsu_name]
         channel = self.channels[rsu_name]
         created = []
-        for index in range(count):
-            car_id = self._next_car_id
-            self._next_car_id += 1
+        count = len(car_ids)
+        for index, car_id in enumerate(car_ids):
             stripe = list(records[index::count]) or list(records)
             vehicle = VehicleNode(
                 self.sim,
@@ -342,11 +431,74 @@ class TestbedScenario:
             )
             self.vehicles.append(vehicle)
             created.append(vehicle)
+        if car_ids:
+            self._next_car_id = max(self._next_car_id, max(car_ids) + 1)
         return created
 
     def connect(self, src: str, dst: str, latency_s: float = 0.5e-3) -> None:
         link = WiredLink(self.sim, latency_s=latency_s, name=f"{src}->{dst}")
         self.rsus[src].connect(self.rsus[dst], link)
+
+    # ------------------------------------------------------------------
+    # Declarative assembly (shared with the sharded engine)
+    # ------------------------------------------------------------------
+    def materialize(
+        self,
+        topology,
+        bundle: ScenarioBundle,
+        local=None,
+        remote_rsu=None,
+    ) -> None:
+        """Build (a shard of) a declarative topology.
+
+        ``local=None`` builds everything (the serial path).  With a set
+        of RSU names, only those RSUs and their vehicle groups are
+        created; links toward non-local RSUs attach to a
+        ``remote_rsu(name)`` proxy (the sharded engine's capture
+        stand-in).  Handovers are *not* scheduled here: the serial path
+        schedules them as simulator events
+        (:meth:`schedule_topology_handovers`), the sharded engine
+        executes them at its barriers.
+        """
+
+        def is_local(name: str) -> bool:
+            return local is None or name in local
+
+        for spec in topology.rsus:
+            if not is_local(spec.name):
+                continue
+            self.add_rsu(spec.name, bundle.detectors[spec.detector])
+            for dst in spec.connects_to:
+                if is_local(dst):
+                    self.connect(spec.name, dst)
+                else:
+                    if remote_rsu is None:
+                        raise ValueError(
+                            f"{spec.name!r} links to non-local {dst!r} but "
+                            "no remote_rsu factory was given"
+                        )
+                    link = WiredLink(
+                        self.sim, latency_s=0.5e-3, name=f"{spec.name}->{dst}"
+                    )
+                    self.rsus[spec.name].connect(remote_rsu(dst), link)
+        for group in topology.groups:
+            if is_local(group.rsu):
+                self.add_vehicles_with_ids(
+                    group.rsu, group.car_ids, bundle.pools[group.pool]
+                )
+
+    def schedule_topology_handovers(
+        self, topology, bundle: ScenarioBundle
+    ) -> None:
+        """Schedule a topology's handovers as simulator events."""
+        by_id = {vehicle.car_id: vehicle for vehicle in self.vehicles}
+        for handover in topology.handovers:
+            self.schedule_handover(
+                [by_id[car_id] for car_id in handover.car_ids],
+                handover.to_rsu,
+                handover.at_s,
+                bundle.pools[handover.pool],
+            )
 
     def schedule_handover(
         self,
@@ -485,58 +637,15 @@ class TestbedScenario:
         (standalone NB) — the knob behind the full-system Fig. 7
         comparison.
         """
-        if link_detector_kind not in ("cad3", "ad3"):
-            raise ValueError(
-                f"unknown link_detector_kind: {link_detector_kind!r}"
-            )
+        from repro.core.topology import corridor_topology
+
+        topology = corridor_topology(config, motorways)
+        bundle = corridor_bundle(
+            config, dataset=dataset, link_detector_kind=link_detector_kind
+        )
         scenario = cls(config)
-        dataset = dataset or default_training_dataset(config.seed)
-        train, replay = cls._train_replay_split(dataset)
-        motorway_train = [
-            r for r in train if r.road_type is RoadType.MOTORWAY
-        ]
-        link_train = [
-            r for r in train if r.road_type is RoadType.MOTORWAY_LINK
-        ]
-        motorway_records = [
-            r for r in replay if r.road_type is RoadType.MOTORWAY
-        ]
-        link_records = [
-            r for r in replay if r.road_type is RoadType.MOTORWAY_LINK
-        ]
-
-        motorway_detector = AD3Detector(RoadType.MOTORWAY).fit(motorway_train)
-        if link_detector_kind == "cad3":
-            summaries = summaries_from_upstream(
-                motorway_detector, motorway_train
-            )
-            link_detector = CollaborativeDetector(RoadType.MOTORWAY_LINK).fit(
-                link_train, summaries
-            )
-        else:
-            link_detector = AD3Detector(RoadType.MOTORWAY_LINK).fit(link_train)
-
-        scenario.add_rsu("rsu-mw-link", link_detector)
-        handover_pool: List[VehicleNode] = []
-        for index in range(motorways):
-            name = f"rsu-mw-{index + 1}"
-            scenario.add_rsu(name, motorway_detector)
-            scenario.connect(name, "rsu-mw-link")
-            vehicles = scenario.add_vehicles(
-                name, config.n_vehicles, motorway_records
-            )
-            n_migrating = int(len(vehicles) * config.handover_fraction)
-            handover_pool.extend(vehicles[:n_migrating])
-        scenario.add_vehicles("rsu-mw-link", config.n_vehicles, link_records)
-        if handover_pool:
-            at = (
-                config.handover_at_s
-                if config.handover_at_s is not None
-                else config.duration_s / 2.0
-            )
-            scenario.schedule_handover(
-                handover_pool, "rsu-mw-link", at, link_records
-            )
+        scenario.materialize(topology, bundle)
+        scenario.schedule_topology_handovers(topology, bundle)
         return scenario
 
     @classmethod
@@ -608,28 +717,10 @@ class TestbedScenario:
         for rsu in self.rsus.values():
             rsu.stop()
 
-        rsu_metrics = {}
-        for name, rsu in self.rsus.items():
-            tx = rsu.events.tx_s()
-            queuing = rsu.events.queuing_s()
-            rsu_metrics[name] = RsuMetrics(
-                name=name,
-                mean_processing_ms=rsu.mean_processing_ms(),
-                bandwidth_in_bps=rsu.bandwidth_in_bps(self.config.duration_s),
-                n_events=len(rsu.events),
-                warnings_issued=rsu.warnings_issued,
-                summaries_sent=rsu.summaries_sent,
-                summaries_received=rsu.summaries_received,
-                mean_tx_ms=float(np.mean(tx)) * 1e3 if tx.size else 0.0,
-                mean_queuing_ms=(
-                    float(np.mean(queuing)) * 1e3 if queuing.size else 0.0
-                ),
-                detection=rsu.detection_report(),
-            )
         return ScenarioResult(
             config=self.config,
             duration_s=self.config.duration_s,
-            rsu_metrics=rsu_metrics,
+            rsu_metrics=collect_rsu_metrics(self.rsus, self.config.duration_s),
             vehicle_stats={v.car_id: v.stats for v in self.vehicles},
             resilience=self._collect_resilience(),
         )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -152,6 +152,14 @@ class VehicleNode:
         self._cancel_notify = None
         self._wakeup_pending = False
         self._started = False
+        # Frames handed to the DSRC channel whose delivery event has
+        # not fired yet, and telemetry still waiting out an HTB delay —
+        # keyed by a monotonic token so a cross-shard handover can ship
+        # them and the stale sender-side events become no-ops.
+        self._frame_tokens = itertools.count()
+        self._inflight: Dict[int, Tuple[float, dict]] = {}
+        self._pending_tx: Dict[int, Tuple[float, dict, int]] = {}
+        self._detached = False
         self._attach_consumer()
 
     # ------------------------------------------------------------------
@@ -256,6 +264,93 @@ class VehicleNode:
         self._records = itertools.cycle(items)
 
     # ------------------------------------------------------------------
+    # Cross-process handover (sharded engine)
+    # ------------------------------------------------------------------
+    @property
+    def detached(self) -> bool:
+        """True once this vehicle was shipped to another shard."""
+        return self._detached
+
+    def detach(self) -> dict:
+        """Freeze this vehicle for a cross-process handover.
+
+        Captures everything the receiving shard needs to continue the
+        exact same trajectory: the RNG mid-stream state, the *exact*
+        next produce/poll instants (interval recurrences accumulate
+        floating point, so these cannot be recomputed from a phase),
+        frames in flight on the DSRC channel (shipped pre-serialized
+        with their known delivery stamps), and telemetry still waiting
+        out an HTB delay.  The vehicle then goes inert: its remaining
+        scheduled events on this shard become no-ops.
+        """
+        if self._detached:
+            raise RuntimeError(f"vehicle {self.car_id} already detached")
+        produce_next = (
+            self._cancel_produce.next_time
+            if self._cancel_produce is not None
+            else None
+        )
+        poll_next = (
+            self._cancel_poll.next_time if self._cancel_poll is not None else None
+        )
+        # Token order is send order, matching the serial delivery-event
+        # scheduling order at equal times.
+        inflight = [
+            (at_time, self.serde.serialize({**envelope, "arrived_at": at_time}))
+            for at_time, envelope in self._inflight.values()
+        ]
+        state = {
+            "car_id": self.car_id,
+            "rng_state": self._rng.bit_generator.state,
+            "stats": self.stats,
+            "produce_next": produce_next,
+            "poll_next": poll_next,
+            "inflight": inflight,
+            "pending_tx": list(self._pending_tx.values()),
+        }
+        self.stop()
+        self._detached = True
+        self._inflight.clear()
+        self._pending_tx.clear()
+        return state
+
+    def resume(
+        self,
+        produce_next: Optional[float],
+        poll_next: Optional[float],
+        until: Optional[float] = None,
+    ) -> None:
+        """Restart the periodic loops mid-stream after a transfer.
+
+        Unlike :meth:`start` this draws no phases from the RNG: the
+        exact next-fire instants come from the sending shard's
+        :meth:`detach`, so the resumed recurrences continue the same
+        float-accumulated grid the serial engine would have produced.
+        ``None`` for either instant means that loop had already ended.
+        """
+        if self._cancel_produce is not None or self._cancel_poll is not None:
+            raise RuntimeError(f"vehicle {self.car_id} already running")
+        self._started = True
+        if produce_next is not None:
+            self._cancel_produce = self.sim.every(
+                self.update_period_s,
+                self._send_telemetry,
+                start=produce_next,
+                until=until,
+                label=f"vehicle-{self.car_id}-produce",
+            )
+        if self.dissemination == "notify":
+            self._subscribe_notify()
+        elif poll_next is not None:
+            self._cancel_poll = self.sim.every(
+                self.poll_interval_s,
+                self._poll_warnings,
+                start=poll_next,
+                until=until,
+                label=f"vehicle-{self.car_id}-poll",
+            )
+
+    # ------------------------------------------------------------------
     def _send_telemetry(self) -> None:
         record = next(self._records)
         generated_at = self.sim.now
@@ -274,29 +369,56 @@ class VehicleNode:
         if self.shaper is not None:
             delay = self.shaper.send(f"vehicle-{self.car_id}", size, self.sim.now)
 
-        def transmit() -> None:
-            def deliver(at_time: float) -> None:
-                envelope["arrived_at"] = at_time
-                try:
-                    self._producer.send(
-                        IN_DATA,
-                        self.serde.serialize(envelope),
-                        key=str(self.car_id).encode(),
-                        timestamp=at_time,
-                    )
-                except BrokerUnavailable:
-                    # No retry policy: the frame made it over the air
-                    # but the broker refused it — lost for good.
-                    self.stats.records_lost += 1
-
-            self.channel.transmit(size, deliver)
-
         if delay > 0:
-            self.sim.after(delay, transmit, label=f"vehicle-{self.car_id}-htb")
+            token = next(self._frame_tokens)
+            self._pending_tx[token] = (self.sim.now + delay, envelope, size)
+            self.sim.after(
+                delay,
+                lambda: self._transmit(envelope, size, pending_token=token),
+                label=f"vehicle-{self.car_id}-htb",
+            )
         else:
-            transmit()
+            self._transmit(envelope, size)
         self.stats.records_sent += 1
         self.stats.bytes_sent += size
+
+    def _transmit(
+        self, envelope: dict, size: int, pending_token: Optional[int] = None
+    ) -> None:
+        """Put one telemetry frame on the (current) DSRC channel.
+
+        Reads ``self.channel`` and ``self._producer`` at fire time, so a
+        frame that waited out an HTB delay across a handover transmits
+        on the new RSU's channel — and after :meth:`detach` the stale
+        sender-side event is a no-op (the frame was shipped to the new
+        shard instead).
+        """
+        if self._detached:
+            return
+        if pending_token is not None:
+            self._pending_tx.pop(pending_token, None)
+        token = next(self._frame_tokens)
+
+        def deliver(at_time: float) -> None:
+            if self._detached:
+                return
+            self._inflight.pop(token, None)
+            envelope["arrived_at"] = at_time
+            try:
+                self._producer.send(
+                    IN_DATA,
+                    self.serde.serialize(envelope),
+                    key=str(self.car_id).encode(),
+                    timestamp=at_time,
+                )
+            except BrokerUnavailable:
+                # No retry policy: the frame made it over the air
+                # but the broker refused it — lost for good.
+                self.stats.records_lost += 1
+
+        delivery = self.channel.transmit(size, deliver)
+        if delivery is not None:
+            self._inflight[token] = (delivery, envelope)
 
     def _poll_warnings(self) -> None:
         try:

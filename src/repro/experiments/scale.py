@@ -14,6 +14,11 @@ planned RSU deployment proportionally to each road type's traffic
 density (Table V's Density column) and checks every class stays within
 the demonstrated per-RSU envelope (256 vehicles under 50 ms,
 ~5 Mb/s of 27 Mb/s DSRC).
+
+This is arithmetic over measured envelopes; the *executed* version of
+the scaled corridor — the same spec run through the sharded
+multi-process engine and checked bit-identical against the
+single-process run — lives in :mod:`repro.experiments.parallel`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,149 @@
+"""Barrier schedule and cross-shard frame codec.
+
+Determinism hinges on two facts encoded here:
+
+1. **The barrier grid reproduces the simulator's tick grid exactly.**
+   :meth:`Simulator.every` accumulates ``next = now + interval`` in
+   floating point, so tick times drift off exact ``k * interval``
+   multiples.  Every RSU's micro-batch recurrence starts at clock 0 and
+   therefore ticks on the *same* drifted sequence; :func:`batch_barriers`
+   replays the identical accumulation so each barrier lands exactly ON a
+   tick time.  Workers run *strictly before* each barrier
+   (:meth:`Simulator.run_before`), so a summary injected at barrier
+   ``b`` is produced before the tick at ``b`` drains the broker — the
+   same batch membership the serial engine produces.
+
+2. **Frames are routable without decoding.**  Every frame starts with a
+   ``[u8 len][utf-8 rsu name]`` header, so the engine can route a frame
+   to its target shard by peeking at the first bytes and push the buffer
+   on unchanged.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Dict, List, Sequence, Tuple
+
+from repro.streaming.serde import FlatStructSerde, SerdeError
+
+# Frame kinds on the shared-memory rings.
+FRAME_SUMMARY = 1  # CO-DATA prediction summary for a remote RSU's broker
+FRAME_TELEMETRY = 2  # an in-flight DSRC frame addressed to a remote RSU
+FRAME_TRANSFER = 3  # a detached vehicle's full migration state
+
+_SUMMARY_HEAD = struct.Struct("<d")
+_TELEMETRY_HEAD = struct.Struct("<dq")
+
+
+# ----------------------------------------------------------------------
+# Barrier schedule
+# ----------------------------------------------------------------------
+def batch_barriers(interval_s: float, until: float) -> List[float]:
+    """The micro-batch tick grid, by the simulator's own accumulation.
+
+    Must mirror the float arithmetic of :meth:`Simulator.every` — do not
+    "simplify" to ``k * interval_s``; the accumulated sum drifts by an
+    ULP every few steps and batch membership is decided at exactly these
+    instants.
+    """
+    points: List[float] = []
+    t = interval_s
+    while t < until:
+        points.append(t)
+        t += interval_s
+    return points
+
+
+def sync_schedule(
+    interval_s: float,
+    duration_s: float,
+    handover_times: Sequence[float],
+) -> List[float]:
+    """All barrier instants for a run, final drain barrier included.
+
+    The union of the tick grid and the handover instants, plus the
+    engine's final ``duration + 0.5`` drain point (the serial engine
+    runs until the same instant to let trailing deliveries land).
+    """
+    points = set(batch_barriers(interval_s, duration_s))
+    for t in handover_times:
+        if t < duration_s:
+            points.add(t)
+    points.add(duration_s + 0.5)
+    return sorted(points)
+
+
+# ----------------------------------------------------------------------
+# Frame codec
+# ----------------------------------------------------------------------
+def _pack_target(rsu_name: str) -> bytes:
+    encoded = rsu_name.encode("utf-8")
+    if len(encoded) > 255:
+        raise ValueError(f"RSU name too long to frame: {rsu_name!r}")
+    return bytes([len(encoded)]) + encoded
+
+
+def frame_target(buf: bytes) -> str:
+    """Peek a frame's destination RSU without decoding the body."""
+    return bytes(buf[1 : 1 + buf[0]]).decode("utf-8")
+
+
+def _body(buf: bytes) -> bytes:
+    return bytes(buf[1 + buf[0] :])
+
+
+def encode_summary(rsu_name: str, timestamp: float, payload: bytes) -> bytes:
+    return _pack_target(rsu_name) + _SUMMARY_HEAD.pack(timestamp) + payload
+
+
+def decode_summary(buf: bytes) -> Tuple[str, float, bytes]:
+    body = _body(buf)
+    (timestamp,) = _SUMMARY_HEAD.unpack_from(body)
+    return frame_target(buf), timestamp, body[_SUMMARY_HEAD.size :]
+
+
+def encode_telemetry(
+    rsu_name: str, deliver_at: float, car_id: int, payload: bytes
+) -> bytes:
+    return (
+        _pack_target(rsu_name)
+        + _TELEMETRY_HEAD.pack(deliver_at, car_id)
+        + payload
+    )
+
+
+def decode_telemetry(buf: bytes) -> Tuple[str, float, int, bytes]:
+    body = _body(buf)
+    deliver_at, car_id = _TELEMETRY_HEAD.unpack_from(body)
+    return frame_target(buf), deliver_at, car_id, body[_TELEMETRY_HEAD.size :]
+
+
+def encode_transfer(rsu_name: str, state: Dict) -> bytes:
+    return _pack_target(rsu_name) + pickle.dumps(state)
+
+
+def decode_transfer(buf: bytes) -> Tuple[str, Dict]:
+    return frame_target(buf), pickle.loads(_body(buf))
+
+
+# ----------------------------------------------------------------------
+# Deterministic summary ordering
+# ----------------------------------------------------------------------
+def summary_car_ids(payloads: Sequence[bytes], serde) -> List[int]:
+    """Car id per CO-DATA payload, for deterministic injection order.
+
+    ``Topic.route(key=None)`` is a round-robin counter, so the *order*
+    summaries are produced into a broker is observable.  The engine
+    sorts cross-shard summaries by ``(timestamp, car)`` before
+    injection; this extracts the car ids — via the columnar
+    ``np.frombuffer`` batch decode when the CO-DATA serde is the fixed
+    struct layout, falling back to per-payload deserialization (JSON
+    profile, or mixed magic-byte fallback payloads).
+    """
+    if isinstance(serde, FlatStructSerde):
+        try:
+            return [int(car) for car in serde.decode_batch(payloads)["car"]]
+        except SerdeError:
+            pass
+    return [int(serde.deserialize(payload)["car"]) for payload in payloads]

@@ -1,0 +1,286 @@
+"""The sharded execution engine: barrier loop, routing, result merge.
+
+:class:`ShardedScenario` is the multi-process counterpart of
+:meth:`TestbedScenario.corridor` + :meth:`~TestbedScenario.run`: same
+spec in, same :class:`~repro.core.system.ScenarioResult` out, with the
+corridor's RSUs partitioned across worker processes by
+:class:`~repro.parallel.plan.ShardPlanner`.
+
+The protocol is conservative time-stepping: every worker runs strictly
+up to the next global barrier (the union of the micro-batch tick grid
+and the handover instants), then the engine moves the accumulated
+cross-shard frames — CO-DATA summaries, vehicle transfers, in-flight
+telemetry — to their owning shards before anyone proceeds.  Because the
+wired-link latency (0.5 ms) is far below the 50 ms batch interval, a
+frame shipped one barrier late still lands in the same micro-batch the
+serial engine would put it in; the golden-equivalence tests pin this
+warning-for-warning.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.scenario import ScenarioSpec
+from repro.core.system import (
+    ResilienceStats,
+    ScenarioResult,
+    corridor_bundle,
+)
+from repro.core.topology import corridor_topology
+from repro.streaming.shm import ShmRing
+from repro.parallel.barrier import frame_target, sync_schedule
+from repro.parallel.plan import ShardPlan, ShardPlanner
+from repro.parallel.worker import ShardContext, shard_worker_main
+
+logger = logging.getLogger(__name__)
+
+#: Per-direction shared-memory ring size.  One barrier's worth of
+#: cross-shard traffic must fit; transfers dominate (a pickled vehicle
+#: state with its latency lists is a few tens of KB late in a run).
+DEFAULT_RING_CAPACITY = 1 << 22
+
+
+class ParallelExecutionError(RuntimeError):
+    """A shard worker failed; carries its traceback."""
+
+
+@dataclass(frozen=True)
+class WindowTiming:
+    """One barrier window's cost accounting."""
+
+    barrier_s: float
+    #: Per-shard CPU seconds spent inside the window's step.
+    worker_cpu_s: Tuple[float, ...]
+    #: Engine-side CPU spent collecting replies and routing frames.
+    engine_cpu_s: float
+
+
+@dataclass
+class _WorkerHandle:
+    index: int
+    process: object
+    conn: object
+    inbox: ShmRing
+    outbox: ShmRing
+
+
+class ShardedScenario:
+    """A corridor scenario executed across worker processes.
+
+    Parameters mirror :meth:`TestbedScenario.corridor`; ``shards``
+    defaults to ``config.shards``.  Fault injection and producer retry
+    are rejected: their failure semantics (broker outages observed by
+    remote producers, retry backoff across a detach) are not modelled
+    across shard boundaries — run them single-process.
+    """
+
+    def __init__(
+        self,
+        config: ScenarioSpec,
+        motorways: int = 4,
+        dataset=None,
+        link_detector_kind: str = "cad3",
+        shards: Optional[int] = None,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
+    ) -> None:
+        n_shards = int(shards if shards is not None else config.shards)
+        if n_shards < 1:
+            raise ValueError(f"shards must be >= 1, got {n_shards}")
+        if config.faults is not None:
+            raise ValueError(
+                "fault injection is not supported under sharding; "
+                "run the fault profile with shards=1"
+            )
+        if config.producer_retry is not None:
+            raise ValueError(
+                "producer retry is not supported under sharding; "
+                "run the retry policy with shards=1"
+            )
+        self.config = config
+        self.motorways = motorways
+        self.topology = corridor_topology(config, motorways)
+        self.bundle = corridor_bundle(
+            config, dataset=dataset, link_detector_kind=link_detector_kind
+        )
+        self.plan: ShardPlan = ShardPlanner().plan(self.topology, n_shards)
+        self.ring_capacity = ring_capacity
+        # Filled by run():
+        self.window_timings: List[WindowTiming] = []
+        self.build_cpu_s: List[float] = []
+        self.wall_s = 0.0
+        self.undelivered_frames = 0
+        #: Per-RSU warning tuples, for golden-equivalence comparison.
+        self.warning_logs: Dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.plan.n_shards
+
+    def critical_path_cpu_s(self) -> float:
+        """The parallel run's CPU critical path: slowest shard's build
+        plus, per window, the slowest shard's step plus the engine's
+        routing work.  On a host with at least ``n_shards`` free cores
+        this is what the wall clock converges to; on a smaller host it
+        is the honest speedup numerator (workers time-share cores, so
+        measured wall degenerates to the CPU *sum*)."""
+        total = max(self.build_cpu_s) if self.build_cpu_s else 0.0
+        for timing in self.window_timings:
+            total += max(timing.worker_cpu_s) + timing.engine_cpu_s
+        return total
+
+    def total_worker_cpu_s(self) -> float:
+        """CPU summed over every shard's windows (work-inflation check)."""
+        total = sum(self.build_cpu_s)
+        for timing in self.window_timings:
+            total += sum(timing.worker_cpu_s)
+        return total
+
+    # ------------------------------------------------------------------
+    def run(self) -> ScenarioResult:
+        mp_ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        schedule = sync_schedule(
+            self.config.batch_interval_s,
+            self.config.duration_s,
+            [handover.at_s for handover in self.topology.handovers],
+        )
+        workers: List[_WorkerHandle] = []
+        try:
+            for index, names in enumerate(self.plan.assignments):
+                parent_conn, child_conn = mp_ctx.Pipe()
+                inbox = ShmRing(self.ring_capacity)
+                outbox = ShmRing(self.ring_capacity)
+                ctx = ShardContext(
+                    shard_index=index,
+                    spec=self.config,
+                    topology=self.topology,
+                    bundle=self.bundle,
+                    local=tuple(names),
+                    conn=child_conn,
+                    inbox=inbox,
+                    outbox=outbox,
+                )
+                process = mp_ctx.Process(
+                    target=shard_worker_main,
+                    args=(ctx,),
+                    name=f"repro-shard-{index}",
+                    daemon=True,
+                )
+                process.start()
+                workers.append(
+                    _WorkerHandle(index, process, parent_conn, inbox, outbox)
+                )
+            for worker in workers:
+                self.build_cpu_s.append(self._recv(worker, "ready")[1])
+
+            pending: List[List[Tuple[int, bytes]]] = [[] for _ in workers]
+            wall_start = time.perf_counter()
+            for i, barrier in enumerate(schedule):
+                final = i == len(schedule) - 1
+                for worker, frames in zip(workers, pending):
+                    for kind, buf in frames:
+                        worker.inbox.push(kind, buf)
+                    worker.conn.send(("step", barrier, len(frames), final))
+                pending = [[] for _ in workers]
+                engine_start = time.process_time()
+                cpu: List[float] = []
+                for worker in workers:
+                    reply = self._recv(worker, "done")
+                    cpu.append(reply[1])
+                    for kind, buf in worker.outbox.drain():
+                        shard = self.plan.shard_of(frame_target(buf))
+                        pending[shard].append((kind, buf))
+                self.window_timings.append(
+                    WindowTiming(
+                        barrier,
+                        tuple(cpu),
+                        time.process_time() - engine_start,
+                    )
+                )
+            self.wall_s = time.perf_counter() - wall_start
+
+            self.undelivered_frames = sum(len(frames) for frames in pending)
+            if self.undelivered_frames:
+                logger.warning(
+                    "%d cross-shard frames produced after the final barrier "
+                    "were dropped (handover too close to scenario end)",
+                    self.undelivered_frames,
+                )
+
+            for worker in workers:
+                worker.conn.send(("collect",))
+            results = [self._recv(worker, "result")[1] for worker in workers]
+            for worker in workers:
+                worker.process.join(timeout=30)
+            return self._merge(results)
+        finally:
+            for worker in workers:
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(timeout=5)
+                worker.conn.close()
+                for ring in (worker.inbox, worker.outbox):
+                    try:
+                        ring.close()
+                        ring.unlink()
+                    except Exception:
+                        pass
+
+    # ------------------------------------------------------------------
+    def _recv(self, worker: _WorkerHandle, expected: str):
+        try:
+            reply = worker.conn.recv()
+        except EOFError:
+            raise ParallelExecutionError(
+                f"shard {worker.index} died without a reply "
+                f"(exitcode={worker.process.exitcode})"
+            )
+        if reply[0] == "error":
+            raise ParallelExecutionError(
+                f"shard {worker.index} failed:\n{reply[1]}"
+            )
+        if reply[0] != expected:
+            raise ParallelExecutionError(
+                f"shard {worker.index}: expected {expected!r}, "
+                f"got {reply[0]!r}"
+            )
+        return reply
+
+    def _merge(self, results: List[dict]) -> ScenarioResult:
+        rsu_metrics: Dict[str, object] = {}
+        vehicle_stats: Dict[int, object] = {}
+        warning_logs: Dict[str, list] = {}
+        resilience = ResilienceStats()
+        for result in results:
+            rsu_metrics.update(result["rsu_metrics"])
+            vehicle_stats.update(result["vehicle_stats"])
+            warning_logs.update(result["warnings"])
+            partial = result["resilience"]
+            resilience.records_lost += partial.records_lost
+            resilience.records_retried += partial.records_retried
+            resilience.records_dropped += partial.records_dropped
+            resilience.records_abandoned += partial.records_abandoned
+            resilience.poll_failures += partial.poll_failures
+            resilience.duplicates_rejected += partial.duplicates_rejected
+            resilience.broker_crashes += partial.broker_crashes
+            resilience.summaries_lost += partial.summaries_lost
+            resilience.degradation_events.update(partial.degradation_events)
+            resilience.restarted_at_s.update(partial.restarted_at_s)
+        ordered_names = self.topology.rsu_names()
+        self.warning_logs = {name: warning_logs[name] for name in ordered_names}
+        return ScenarioResult(
+            config=self.config,
+            duration_s=self.config.duration_s,
+            rsu_metrics={name: rsu_metrics[name] for name in ordered_names},
+            vehicle_stats=dict(sorted(vehicle_stats.items())),
+            resilience=resilience,
+        )

@@ -1,0 +1,80 @@
+"""Shard planning: cut the corridor graph across worker processes.
+
+The planner is deliberately simple and fully deterministic — greedy
+longest-processing-time (LPT) on the topology's per-RSU vehicle load,
+with a tie-break that co-locates CO-DATA neighbours so cross-shard
+edges (the only traffic that must cross the barrier) are minimised.
+Determinism matters more than optimality here: the same topology and
+shard count must always produce the same plan, or the golden
+equivalence guarantee would depend on dict ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.core.topology import CorridorTopology
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An assignment of every RSU to exactly one shard."""
+
+    #: ``assignments[s]`` is the tuple of RSU names owned by shard ``s``.
+    assignments: Tuple[Tuple[str, ...], ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.assignments)
+
+    def shard_of(self, rsu_name: str) -> int:
+        for index, names in enumerate(self.assignments):
+            if rsu_name in names:
+                return index
+        raise KeyError(f"RSU {rsu_name!r} is in no shard")
+
+    def cross_edges(self, topology: CorridorTopology) -> List[Tuple[str, str]]:
+        """Directed CO-DATA edges whose endpoints live in different shards."""
+        return [
+            (src, dst)
+            for src, dst in topology.edges()
+            if self.shard_of(src) != self.shard_of(dst)
+        ]
+
+    def loads(self, topology: CorridorTopology) -> List[int]:
+        """Per-shard vehicle load under the topology's estimate."""
+        weight = topology.vehicle_load()
+        return [sum(weight[name] for name in names) for names in self.assignments]
+
+
+class ShardPlanner:
+    """Deterministic greedy partitioner for :class:`CorridorTopology`."""
+
+    def plan(self, topology: CorridorTopology, n_shards: int) -> ShardPlan:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        names = topology.rsu_names()
+        n_shards = min(n_shards, len(names))
+        weight = topology.vehicle_load()
+        neighbours: Dict[str, Set[str]] = {name: set() for name in names}
+        for src, dst in topology.edges():
+            neighbours[src].add(dst)
+            neighbours[dst].add(src)
+
+        # Heaviest first; name breaks weight ties so the order is total.
+        order = sorted(names, key=lambda name: (-weight[name], name))
+        shards: List[List[str]] = [[] for _ in range(n_shards)]
+        loads = [0] * n_shards
+        for name in order:
+            best = min(
+                range(n_shards),
+                key=lambda s: (
+                    loads[s],
+                    -len(neighbours[name].intersection(shards[s])),
+                    s,
+                ),
+            )
+            shards[best].append(name)
+            loads[best] += weight[name]
+        return ShardPlan(tuple(tuple(names) for names in shards))

@@ -1,0 +1,373 @@
+"""The shard worker process: one simulator, a slice of the corridor.
+
+Each worker materializes only its own RSUs and vehicle groups (same
+identities, same RNG stream names as the single-process build), runs
+its local :class:`~repro.simkernel.simulator.Simulator` window by
+window under the engine's conservative barrier protocol, and exchanges
+exactly three kinds of frames with other shards:
+
+- **CO-DATA summaries** a local RSU forwarded to a non-local neighbour.
+  The wired link toward the remote RSU is real and lives in *this*
+  simulator — latency and queuing are paid here — but its far end is a
+  :class:`RemoteRsuProxy` whose broker captures the produce instead of
+  appending it.  The engine ships the capture at the next barrier and
+  the owning shard injects it with the original delivery timestamp,
+  strictly before the tick at that barrier — so the summary lands in
+  the same micro-batch the serial engine would put it in.
+- **Vehicle transfers** (cross-shard handover): the full
+  :meth:`VehicleNode.detach` state, applied on the owning shard at the
+  handover instant's barrier clock.
+- **In-flight telemetry** of a transferred vehicle: frames already on
+  the air with known delivery times, re-produced into the new RSU's
+  broker at exactly those times.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.features import CO_DATA, IN_DATA
+from repro.core.system import (
+    ScenarioBundle,
+    TestbedScenario,
+    collect_rsu_metrics,
+)
+from repro.core.topology import CorridorTopology, HandoverSpec
+from repro.core.wire import topic_serdes
+from repro.streaming.serde import JsonSerde
+from repro.streaming.shm import ShmRing
+from repro.parallel.barrier import (
+    FRAME_SUMMARY,
+    FRAME_TELEMETRY,
+    FRAME_TRANSFER,
+    decode_summary,
+    decode_telemetry,
+    decode_transfer,
+    encode_summary,
+    encode_telemetry,
+    encode_transfer,
+    summary_car_ids,
+)
+
+
+class _CaptureBroker:
+    """Broker stand-in on the far end of a cross-shard wired link.
+
+    Only :meth:`produce` is ever reached (an RSU's ``handover`` deliver
+    callback); instead of appending, it records the produce so the
+    worker can ship it at the next barrier.
+    """
+
+    def __init__(self, rsu_name: str, sink: List[Tuple[str, str, bytes, float]]):
+        self._rsu_name = rsu_name
+        self._sink = sink
+
+    def produce(self, topic, value, key=None, partition=None, timestamp=None, **_):
+        self._sink.append((self._rsu_name, topic, value, timestamp))
+        return None
+
+
+class RemoteRsuProxy:
+    """A non-local RSU, as seen by this shard's topology wiring."""
+
+    def __init__(self, name: str, sink: List[Tuple[str, str, bytes, float]]):
+        self.name = name
+        self.broker = _CaptureBroker(name, sink)
+
+    def __repr__(self) -> str:
+        return f"RemoteRsuProxy(name={self.name!r})"
+
+
+@dataclass
+class ShardContext:
+    """Everything one worker process needs, passed at spawn."""
+
+    shard_index: int
+    spec: object  # ScenarioSpec
+    topology: CorridorTopology
+    bundle: ScenarioBundle
+    local: Tuple[str, ...]
+    conn: object  # multiprocessing.Connection
+    inbox: ShmRing
+    outbox: ShmRing
+
+
+def shard_worker_main(ctx: ShardContext) -> None:
+    """Process entry point: build the shard, then serve barrier steps."""
+    try:
+        _ShardWorker(ctx).serve()
+    except BaseException:  # ship the traceback; the engine re-raises
+        try:
+            ctx.conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+
+
+class _ShardWorker:
+    def __init__(self, ctx: ShardContext) -> None:
+        build_start = time.process_time()
+        self.ctx = ctx
+        self.spec = ctx.spec
+        #: (rsu_name, topic, payload, timestamp) produces captured on
+        #: cross-shard links, shipped at the next flush.
+        self.captured: List[Tuple[str, str, bytes, float]] = []
+        #: Detached-vehicle states awaiting shipment.
+        self.transfer_out: List[dict] = []
+        self._proxies: Dict[str, RemoteRsuProxy] = {}
+
+        scenario = TestbedScenario(ctx.spec)
+        scenario.materialize(
+            ctx.topology,
+            ctx.bundle,
+            local=set(ctx.local),
+            remote_rsu=self._remote_rsu,
+        )
+        self.scenario = scenario
+        self.sim = scenario.sim
+        self.vehicles = {v.car_id: v for v in scenario.vehicles}
+        self._co_serde = topic_serdes(ctx.spec.serde_profile).get(
+            CO_DATA, JsonSerde()
+        )
+        self.handovers: Dict[float, List[HandoverSpec]] = {}
+        for handover in ctx.topology.handovers:
+            self.handovers.setdefault(handover.at_s, []).append(handover)
+
+        until = ctx.spec.duration_s
+        for rsu in scenario.rsus.values():
+            rsu.start(until=until)
+        for vehicle in scenario.vehicles:
+            vehicle.start(until=until)
+        self.build_cpu_s = time.process_time() - build_start
+
+    def _remote_rsu(self, name: str) -> RemoteRsuProxy:
+        proxy = self._proxies.get(name)
+        if proxy is None:
+            proxy = RemoteRsuProxy(name, self.captured)
+            self._proxies[name] = proxy
+        return proxy
+
+    # ------------------------------------------------------------------
+    # Protocol loop
+    # ------------------------------------------------------------------
+    def serve(self) -> None:
+        self.ctx.conn.send(("ready", self.build_cpu_s))
+        while True:
+            message = self.ctx.conn.recv()
+            op = message[0]
+            if op == "step":
+                _, barrier, n_frames, final = message
+                self._step(barrier, n_frames, final)
+            elif op == "collect":
+                self._collect()
+                return
+            else:
+                raise RuntimeError(f"unknown op from engine: {op!r}")
+
+    def _step(self, barrier: float, n_frames: int, final: bool) -> None:
+        start = time.process_time()
+        frames = [self.ctx.inbox.pop() for _ in range(n_frames)]
+        self._apply(frames)
+        if final:
+            self.sim.run_until(barrier)
+        else:
+            # Strictly before: events AT the barrier (the micro-batch
+            # ticks) fire in the next window, after cross-shard frames
+            # for this barrier have been injected.
+            self.sim.run_before(barrier)
+        for handover in self.handovers.get(barrier, ()):
+            self._execute_handover(handover)
+        out_count = self._flush()
+        self.ctx.conn.send(("done", time.process_time() - start, out_count))
+
+    # ------------------------------------------------------------------
+    # Inbound frames
+    # ------------------------------------------------------------------
+    def _apply(self, frames: List[Tuple[int, bytes]]) -> None:
+        """Inject one barrier's cross-shard frames, deterministically.
+
+        The clock sits exactly at the previous barrier (a handover
+        instant for transfers), so vehicles re-attach at the same
+        simulated time the serial migrate event fired.
+        """
+        transfers: List[dict] = []
+        summaries: List[Tuple[str, float, bytes]] = []
+        telemetry: List[Tuple[str, float, int, bytes]] = []
+        for kind, buf in frames:
+            if kind == FRAME_TRANSFER:
+                transfers.append(decode_transfer(buf)[1])
+            elif kind == FRAME_SUMMARY:
+                summaries.append(decode_summary(buf))
+            elif kind == FRAME_TELEMETRY:
+                telemetry.append(decode_telemetry(buf))
+            else:
+                raise RuntimeError(f"unknown frame kind {kind}")
+
+        # Transfers first (the serial migrate loop runs before any
+        # later event), in pool order — the serial loop's own order.
+        transfers.sort(
+            key=lambda s: (s["pool"], s["stripe_index"], s["car_id"])
+        )
+        for state in transfers:
+            self._apply_transfer(state)
+
+        # Summaries in delivery order, car id breaking timestamp ties —
+        # matching the serial seq order (links send in pool order).
+        # Order matters: CO-DATA routes round-robin (key=None).
+        if summaries:
+            cars = summary_car_ids(
+                [payload for _, _, payload in summaries], self._co_serde
+            )
+            for (rsu_name, ts, payload), _car in sorted(
+                zip(summaries, cars), key=lambda item: (item[0][1], item[1])
+            ):
+                self.scenario.rsus[rsu_name].broker.produce(
+                    CO_DATA, payload, timestamp=ts
+                )
+
+        # In-flight telemetry lands at its pre-computed delivery time.
+        for rsu_name, deliver_at, car_id, payload in sorted(
+            telemetry, key=lambda f: (f[1], f[2])
+        ):
+            broker = self.scenario.rsus[rsu_name].broker
+            self.sim.at(
+                deliver_at,
+                lambda b=broker, p=payload, c=car_id, t=deliver_at: b.produce(
+                    IN_DATA, p, key=str(c).encode(), timestamp=t
+                ),
+                label="inflight-telemetry",
+            )
+
+    def _apply_transfer(self, state: dict) -> None:
+        """Reconstruct a transferred vehicle on its new home RSU."""
+        car_id = state["car_id"]
+        to_rsu = state["to_rsu"]
+        pool = self.ctx.bundle.pools[state["pool"]]
+        stripe = list(pool[state["stripe_index"] :: state["pool_size"]])
+        if not stripe:
+            raise RuntimeError(
+                f"cross-shard handover of car {car_id} got an empty record "
+                f"stripe ({state['pool']!r} pool has {len(pool)} records for "
+                f"{state['pool_size']} migrating vehicles); the serial engine "
+                "would keep the old sub-dataset, which cannot cross shards — "
+                "use a larger replay pool or fewer migrating vehicles"
+            )
+        vehicle = self.scenario.add_vehicles_with_ids(
+            to_rsu, (car_id,), stripe
+        )[0]
+        # Continue the exact serial trajectory: same generator object
+        # (the registry's cached stream), restored mid-stream.
+        self.scenario.rng.restore(f"vehicle.{car_id}", state["rng_state"])
+        vehicle.stats = state["stats"]
+        vehicle.resume(
+            state["produce_next"],
+            state["poll_next"],
+            until=self.spec.duration_s,
+        )
+        for fire_time, envelope, size in state["pending_tx"]:
+            self.sim.at(
+                fire_time,
+                lambda v=vehicle, e=envelope, s=size: v._transmit(e, s),
+                label=f"vehicle-{car_id}-htb",
+            )
+        self.vehicles[car_id] = vehicle
+
+    # ------------------------------------------------------------------
+    # Handover execution
+    # ------------------------------------------------------------------
+    def _execute_handover(self, handover: HandoverSpec) -> None:
+        """Run one handover spec for the locally-owned cars.
+
+        Same-shard migrations take the serial path verbatim; cars whose
+        target lives elsewhere forward their summary over the (real)
+        link toward the proxy, detach, and ship.
+        """
+        new_records = self.ctx.bundle.pools[handover.pool]
+        size = max(1, len(handover.car_ids))
+        target_local = handover.to_rsu in self.scenario.rsus
+        for index, car_id in enumerate(handover.car_ids):
+            vehicle = self.vehicles.get(car_id)
+            if vehicle is None or vehicle.detached:
+                continue
+            vehicle.rsu.handover(car_id, handover.to_rsu)
+            if target_local:
+                vehicle.migrate(
+                    self.scenario.rsus[handover.to_rsu],
+                    self.scenario.channels[handover.to_rsu],
+                    drop_pending=True,
+                )
+                vehicle.shaper = self.scenario._shaper_for(
+                    handover.to_rsu, car_id
+                )
+                stripe = list(new_records[index::size])
+                if stripe:
+                    vehicle.set_records(stripe)
+            else:
+                state = vehicle.detach()
+                state.update(
+                    {
+                        "to_rsu": handover.to_rsu,
+                        "pool": handover.pool,
+                        "stripe_index": index,
+                        "pool_size": size,
+                    }
+                )
+                self.transfer_out.append(state)
+
+    # ------------------------------------------------------------------
+    # Outbound frames
+    # ------------------------------------------------------------------
+    def _flush(self) -> int:
+        count = 0
+        for rsu_name, _topic, payload, timestamp in self.captured:
+            self.ctx.outbox.push(
+                FRAME_SUMMARY, encode_summary(rsu_name, timestamp, payload)
+            )
+            count += 1
+        self.captured.clear()
+        for state in self.transfer_out:
+            for deliver_at, payload in state.pop("inflight"):
+                self.ctx.outbox.push(
+                    FRAME_TELEMETRY,
+                    encode_telemetry(
+                        state["to_rsu"], deliver_at, state["car_id"], payload
+                    ),
+                )
+                count += 1
+            self.ctx.outbox.push(
+                FRAME_TRANSFER, encode_transfer(state["to_rsu"], state)
+            )
+            count += 1
+        self.transfer_out.clear()
+        return count
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        for vehicle in self.scenario.vehicles:
+            vehicle.stop()
+        for rsu in self.scenario.rsus.values():
+            rsu.stop()
+        # Vehicles shipped to another shard report from there.
+        self.scenario.vehicles = [
+            v for v in self.scenario.vehicles if not v.detached
+        ]
+        result = {
+            "rsu_metrics": collect_rsu_metrics(
+                self.scenario.rsus, self.spec.duration_s
+            ),
+            "vehicle_stats": {
+                v.car_id: v.stats for v in self.scenario.vehicles
+            },
+            "warnings": {
+                name: rsu.warning_log()
+                for name, rsu in self.scenario.rsus.items()
+            },
+            "resilience": self.scenario._collect_resilience(),
+        }
+        self.ctx.conn.send(("result", result))
+        self.ctx.inbox.close()
+        self.ctx.outbox.close()

@@ -25,6 +25,16 @@ def derive_seed(root_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big") >> 1
 
 
+def substream_name(*parts: object) -> str:
+    """Canonical dotted name for a nested stream (``"vehicle.42"``).
+
+    Shard workers and the single-process engine must spell stream names
+    identically, or their draws diverge; routing every name through this
+    helper keeps them aligned.
+    """
+    return ".".join(str(part) for part in parts)
+
+
 class RngRegistry:
     """Factory and cache for named ``numpy.random.Generator`` streams."""
 
@@ -44,6 +54,22 @@ class RngRegistry:
         """Recreate ``name``'s stream from its derived seed."""
         self._streams.pop(name, None)
         return self.stream(name)
+
+    def state_of(self, name: str) -> dict:
+        """Snapshot ``name``'s bit-generator state (picklable).
+
+        Because streams are seeded from ``(root_seed, name)`` — never
+        from creation order or a shared global — a snapshot taken in one
+        process restores exactly in another, which is how a migrating
+        vehicle's draw sequence survives a cross-shard handover.
+        """
+        return self.stream(name).bit_generator.state
+
+    def restore(self, name: str, state: dict) -> np.random.Generator:
+        """Restore ``name``'s stream to a snapshot from :meth:`state_of`."""
+        generator = self.stream(name)
+        generator.bit_generator.state = state
+        return generator
 
     def __contains__(self, name: str) -> bool:
         return name in self._streams

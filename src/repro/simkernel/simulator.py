@@ -18,6 +18,44 @@ class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
 
 
+class Recurrence:
+    """Handle for a periodic schedule created by :meth:`Simulator.every`.
+
+    Calling the handle cancels the recurrence (it doubles as the
+    zero-argument canceller that ``every`` historically returned).
+    ``next_time`` exposes the absolute time of the next pending firing,
+    which lets a periodic loop be suspended on one simulator and resumed
+    on another at the exact same instant — interval recurrences
+    accumulate ``now + interval`` in floating point, so the next firing
+    cannot be recomputed from the phase alone.
+    """
+
+    __slots__ = ("_queue", "_state")
+
+    def __init__(self, queue: EventQueue, state: dict) -> None:
+        self._queue = queue
+        self._state = state
+
+    @property
+    def next_time(self) -> Optional[float]:
+        """Absolute time of the next firing, or ``None`` if finished."""
+        if self._state["cancelled"]:
+            return None
+        event = self._state["event"]
+        if event is None or event.cancelled:
+            return None
+        return event.time
+
+    def cancel(self) -> None:
+        self._state["cancelled"] = True
+        event = self._state["event"]
+        if event is not None:
+            self._queue.cancel(event)
+
+    def __call__(self) -> None:
+        self.cancel()
+
+
 class Simulator:
     """Deterministic discrete-event loop.
 
@@ -94,7 +132,8 @@ class Simulator:
 
         Returns
         -------
-        A zero-argument function that stops the recurrence.
+        A :class:`Recurrence` — calling it stops the recurrence, and its
+        ``next_time`` property reports the next pending firing.
         """
         if interval <= 0:
             raise SimulationError(f"interval must be positive, got {interval!r}")
@@ -107,18 +146,14 @@ class Simulator:
             next_time = self.clock.now + interval
             if until is None or next_time < until:
                 state["event"] = self.at(next_time, fire, label=label)
+            else:
+                state["event"] = None
 
         first = self.clock.now + interval if start is None else start
         if until is None or first < until:
             state["event"] = self.at(first, fire, label=label)
 
-        def cancel() -> None:
-            state["cancelled"] = True
-            event = state["event"]
-            if event is not None:
-                self.queue.cancel(event)
-
-        return cancel
+        return Recurrence(self.queue, state)
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
@@ -172,6 +207,34 @@ class Simulator:
             while True:
                 next_time = self.queue.peek_time()
                 if next_time is None or next_time > deadline:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        self.clock.advance_to(deadline)
+        return self.clock.now
+
+    def run_before(self, deadline: float) -> float:
+        """Run events with ``time < deadline`` (strictly); then advance
+        the clock to ``deadline`` and return it.
+
+        This is the conservative-synchronization primitive used by the
+        sharded engine: a worker drains everything strictly before a
+        barrier, leaving events *at* the barrier instant (micro-batch
+        ticks, injected messages) to fire in the next window so that
+        barrier-time injections land before them in simulated order.
+        """
+        if deadline < self.clock.now:
+            raise SimulationError(
+                f"deadline {deadline!r} is before current time {self.clock.now!r}"
+            )
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        try:
+            while True:
+                next_time = self.queue.peek_time()
+                if next_time is None or next_time >= deadline:
                     break
                 self.step()
         finally:

@@ -1,0 +1,169 @@
+"""Property tests: struct serde round trips through the shm ring.
+
+The sharded engine's cross-process traffic is framed bytes through
+:class:`ShmRing`; these tests drive the ring through wrap-around and
+partial-drain interleavings with hypothesis and check that the fixed
+layout serdes survive the trip bit-exactly — including the magic-byte
+JSON fallback that :meth:`FlatStructSerde.decode_batch` must reject and
+:meth:`deserialize` must absorb.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.wire import summary_struct_serde
+from repro.parallel.barrier import summary_car_ids
+from repro.streaming.serde import SerdeError
+from repro.streaming.shm import RingFull, ShmRing
+
+
+@pytest.fixture
+def ring():
+    ring = ShmRing(capacity=256)
+    yield ring
+    ring.close()
+    ring.unlink()
+
+
+payloads_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=255),
+        st.binary(min_size=0, max_size=48),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestRingProperties:
+    @given(frames=payloads_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_push_pop_round_trips(self, frames):
+        """Push/pop interleaved so the cursors lap the 256-byte ring
+        many times: every frame must come back intact and in order."""
+        ring = ShmRing(capacity=256)
+        try:
+            popped = []
+            for kind, payload in frames:
+                ring.push(kind, payload)
+                popped.append(ring.pop())
+            assert popped == frames
+            assert ring.pop() is None
+        finally:
+            ring.close()
+            ring.unlink()
+
+    @given(frames=payloads_strategy, keep=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_partial_drain_preserves_order(self, frames, keep):
+        """Drain only part of the backlog between pushes (the engine's
+        n_frames-at-a-time consumption): order still holds."""
+        ring = ShmRing(capacity=4096)
+        try:
+            popped = []
+            pending = 0
+            for index, (kind, payload) in enumerate(frames):
+                ring.push(kind, payload)
+                pending += 1
+                while pending > keep:
+                    popped.append(ring.pop())
+                    pending -= 1
+            popped.extend(ring.drain())
+            assert popped == frames
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_wrap_around_split_frame(self, ring):
+        """A frame larger than the space left before the physical end
+        must split across the boundary and reassemble."""
+        ring.push(1, b"x" * 200)
+        assert ring.pop() == (1, b"x" * 200)
+        # Cursor now at 205; the next 200-byte frame wraps.
+        ring.push(2, b"y" * 200)
+        assert ring.pop() == (2, b"y" * 200)
+
+    def test_full_ring_raises_instead_of_overwriting(self, ring):
+        ring.push(1, b"a" * 120)
+        ring.push(1, b"b" * 120)
+        with pytest.raises(RingFull):
+            ring.push(1, b"c" * 20)
+        # The backlog is untouched by the failed push.
+        assert ring.pop() == (1, b"a" * 120)
+        ring.push(1, b"c" * 20)
+        assert ring.drain() == [(1, b"b" * 120), (1, b"c" * 20)]
+
+    def test_attach_by_name_shares_frames(self, ring):
+        ring.push(7, b"hello")
+        attached = ShmRing(ring.capacity, name=ring.name)
+        try:
+            assert attached.pop() == (7, b"hello")
+            assert ring.pop() is None  # shared cursors
+        finally:
+            attached.close()
+
+
+summaries_strategy = st.lists(
+    st.fixed_dictionaries(
+        {
+            "car": st.integers(min_value=1, max_value=10_000),
+            "p": st.floats(0.0, 1.0, allow_nan=False, width=32),
+            "n": st.integers(min_value=0, max_value=100_000),
+            "cls": st.integers(min_value=0, max_value=1),
+            "rd": st.integers(min_value=0, max_value=500),
+            "ts": st.floats(0.0, 1e4, allow_nan=False),
+        }
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestStructSerdeThroughRing:
+    @given(values=summaries_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_summary_round_trip_and_batch_decode(self, values):
+        serde = summary_struct_serde()
+        ring = ShmRing(capacity=1024)
+        try:
+            for value in values:
+                ring.push(1, serde.serialize(value))
+            payloads = [payload for _, payload in ring.drain()]
+            assert [serde.deserialize(p)["car"] for p in payloads] == [
+                v["car"] for v in values
+            ]
+            batch = serde.decode_batch(payloads)
+            assert batch["car"].tolist() == [v["car"] for v in values]
+            assert batch["n"].tolist() == [v["n"] for v in values]
+        finally:
+            ring.close()
+            ring.unlink()
+
+    @given(values=summaries_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_magic_byte_json_fallback_through_ring(self, values):
+        """A payload the struct layout cannot hold falls back to JSON;
+        batch decode must reject the mixed batch, the per-payload path
+        (and summary_car_ids) must absorb it."""
+        serde = summary_struct_serde()
+        odd = dict(values[0])
+        odd["n"] = 2**70  # overflows the fixed field: JSON fallback
+        wire = [serde.serialize(v) for v in values] + [serde.serialize(odd)]
+        assert wire[-1][0:1] != bytes([0xC3])
+
+        ring = ShmRing(capacity=8192)
+        try:
+            for payload in wire:
+                ring.push(1, payload)
+            payloads = [payload for _, payload in ring.drain()]
+        finally:
+            ring.close()
+            ring.unlink()
+
+        with pytest.raises(SerdeError):
+            serde.decode_batch(payloads)
+        expected = [v["car"] for v in values] + [odd["car"]]
+        assert [serde.deserialize(p)["car"] for p in payloads] == expected
+        # The barrier helper takes the same fallback path transparently.
+        assert summary_car_ids(payloads, serde) == expected

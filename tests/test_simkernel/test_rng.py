@@ -52,3 +52,54 @@ class TestRngRegistry:
         a = RngRegistry(1).stream("x").random(4).tolist()
         b = RngRegistry(2).stream("x").random(4).tolist()
         assert a != b
+
+
+class TestSubstreamState:
+    """Mid-stream capture/restore: what a cross-shard vehicle transfer
+    uses to continue the exact same draw sequence on another process."""
+
+    def test_substream_name_joins_parts(self):
+        from repro.simkernel.rng import substream_name
+
+        assert substream_name("vehicle", 42) == "vehicle.42"
+        assert substream_name("shard", 1, "dsrc") == "shard.1.dsrc"
+
+    def test_state_round_trip_continues_sequence(self):
+        source = RngRegistry(7)
+        stream = source.stream("vehicle.9")
+        stream.random(13)  # advance mid-stream
+        state = source.state_of("vehicle.9")
+        expected = stream.random(5).tolist()
+
+        other = RngRegistry(7)  # fresh registry, as in a worker process
+        other.stream("vehicle.9").random(99)  # position differs
+        restored = other.restore("vehicle.9", state)
+        assert restored.random(5).tolist() == expected
+        assert restored is other.stream("vehicle.9")  # same cached object
+
+    def test_state_survives_pickle(self):
+        import pickle
+
+        registry = RngRegistry(3)
+        registry.stream("x").random(7)
+        state = pickle.loads(pickle.dumps(registry.state_of("x")))
+        expected = registry.stream("x").random(4).tolist()
+        fresh = RngRegistry(3)
+        assert fresh.restore("x", state).random(4).tolist() == expected
+
+    def test_shard_count_does_not_change_streams(self):
+        """Per-actor draws depend only on (root seed, stream name) —
+        never on which process owns the actor or how many exist."""
+        whole = RngRegistry(11)
+        draws = {
+            name: whole.stream(name).random(3).tolist()
+            for name in ("vehicle.1", "vehicle.5", "jitter.rsu-mw-2")
+        }
+        # Simulate two shards, each creating only its own streams.
+        shard_a = RngRegistry(11)
+        shard_b = RngRegistry(11)
+        assert shard_a.stream("vehicle.1").random(3).tolist() == draws["vehicle.1"]
+        assert shard_b.stream("jitter.rsu-mw-2").random(3).tolist() == (
+            draws["jitter.rsu-mw-2"]
+        )
+        assert shard_b.stream("vehicle.5").random(3).tolist() == draws["vehicle.5"]

@@ -128,3 +128,99 @@ class TestRunning:
             return trace
 
         assert build_and_run() == build_and_run()
+
+
+class TestRunBefore:
+    """The sharded engine's conservative-synchronization primitive."""
+
+    def test_events_at_deadline_do_not_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1.0, lambda: fired.append(1.0))
+        sim.at(2.0, lambda: fired.append(2.0))
+        sim.run_before(2.0)
+        assert fired == [1.0]
+        assert sim.now == 2.0  # clock advances TO the barrier
+        sim.run()
+        assert fired == [1.0, 2.0]  # the deadline event fires later
+
+    def test_injection_between_barriers_lands_before_tick(self):
+        """An event *scheduled* at the barrier instant sorts after the
+        already-pending tick there (insertion order) — which is why the
+        sharded engine applies cross-shard frames synchronously at the
+        barrier clock instead of scheduling them as events."""
+        sim = Simulator()
+        order = []
+        sim.every(0.05, lambda: order.append(("tick", sim.now)), until=0.2)
+        sim.run_before(0.05)
+        sim.at(0.05, lambda: order.append(("inject", sim.now)))
+        sim.run_before(0.1)
+        assert order[0] == ("tick", 0.05)  # tick was scheduled first
+        assert order[1] == ("inject", 0.05)
+
+    def test_windowed_run_equals_straight_run(self):
+        def trace(windowed):
+            sim = Simulator()
+            out = []
+            sim.every(0.05, lambda: out.append(round(sim.now, 9)), until=1.0)
+            sim.every(0.03, lambda: out.append(-round(sim.now, 9)), until=1.0)
+            if windowed:
+                barrier = 0.05
+                while barrier < 1.0:
+                    sim.run_before(barrier)
+                    barrier += 0.05
+                sim.run_until(1.5)
+            else:
+                sim.run_until(1.5)
+            return out
+
+        assert trace(windowed=True) == trace(windowed=False)
+
+
+class TestRecurrence:
+    def test_next_time_tracks_the_pending_event(self):
+        sim = Simulator()
+        recurrence = sim.every(0.1, lambda: None, start=0.3, until=1.0)
+        assert recurrence.next_time == 0.3
+        sim.run_until(0.35)
+        assert recurrence.next_time == pytest.approx(0.4)
+
+    def test_next_time_none_after_cancel(self):
+        sim = Simulator()
+        recurrence = sim.every(0.1, lambda: None)
+        recurrence.cancel()
+        assert recurrence.next_time is None
+
+    def test_next_time_none_after_until(self):
+        sim = Simulator()
+        recurrence = sim.every(0.1, lambda: None, until=0.25)
+        sim.run()
+        assert recurrence.next_time is None
+
+    def test_call_still_cancels(self):
+        # Legacy callers treat the return of every() as a cancel thunk.
+        sim = Simulator()
+        fired = []
+        cancel = sim.every(0.1, lambda: fired.append(sim.now), until=1.0)
+        sim.run_until(0.15)
+        cancel()
+        sim.run()
+        assert len(fired) == 1
+
+    def test_resume_from_next_time_continues_the_grid(self):
+        """Detach/resume round trip: restarting a recurrence at its
+        captured next_time reproduces the original drifted grid."""
+        straight = Simulator()
+        expected = []
+        straight.every(0.1, lambda: expected.append(straight.now), until=2.0)
+        straight.run()
+
+        sim = Simulator()
+        out = []
+        recurrence = sim.every(0.1, lambda: out.append(sim.now), until=2.0)
+        sim.run_until(0.95)
+        resume_at = recurrence.next_time
+        recurrence.cancel()
+        sim.every(0.1, lambda: out.append(sim.now), start=resume_at, until=2.0)
+        sim.run()
+        assert out == expected

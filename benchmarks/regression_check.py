@@ -13,6 +13,10 @@ Two metric classes:
   candidate ran on comparable hardware; they are compared only with
   ``--absolute``.
 
+A ratio metric present in the baseline but absent from the candidate
+fails the gate (the harness stopped measuring a guaranteed ratio);
+absolute metrics missing from the candidate are reported and skipped.
+
 For ``BENCH_3`` the comparison is mode-aware: a ``--smoke`` candidate
 is compared against the smoke-sized section the full harness embeds in
 the committed artifact, so CI checks like against like.
@@ -51,7 +55,7 @@ def extract_metrics(report: dict, mode: str) -> dict:
     if bench == "BENCH_3":
         return _bench3_metrics(report, mode)
     if bench == "BENCH_1":
-        return {
+        metrics = {
             "rsu_micro_batch_speedup": report["rsu_micro_batch"]["speedup"],
             "serde_decode_ratio": report["serde"]["decode_throughput_ratio"],
             "columnar_struct_records_per_s": report["rsu_micro_batch"][
@@ -61,6 +65,10 @@ def extract_metrics(report: dict, mode: str) -> dict:
                 "batch_decode_records_per_s"
             ],
         }
+        # Added by the observability PR; older artifacts predate it.
+        if "obs_overhead" in report:
+            metrics["obs_overhead_ratio"] = report["obs_overhead"]["ratio"]
+        return metrics
     raise SystemExit(f"no metric extractor for bench id {bench!r}")
 
 
@@ -113,14 +121,29 @@ def main(argv=None) -> int:
     candidate_metrics = extract_metrics(candidate, mode)
     baseline_metrics = extract_metrics(baseline, mode)
 
-    shared = sorted(set(candidate_metrics) & set(baseline_metrics))
     failures = []
     compared = 0
     print(
         f"{bench} regression check ({mode} mode, "
         f"tolerance {args.tolerance:.0%}) vs {baseline_path.name}"
     )
-    for name in shared:
+    # A ratio metric that the baseline carries but the candidate lost is
+    # a gate escape, not a skip: the harness stopped measuring something
+    # it used to guarantee.  Absolute throughputs stay soft — they are
+    # host-dependent and an old candidate artifact may simply not have
+    # them.
+    for name in sorted(baseline_metrics):
+        if name in candidate_metrics:
+            continue
+        if is_ratio_metric(name):
+            print(
+                f"  {name:<36} MISSING from candidate "
+                f"(baseline {baseline_metrics[name]:,.3f})"
+            )
+            failures.append(f"{name} (missing)")
+        else:
+            print(f"  {name:<36} missing from candidate (absolute; skipped)")
+    for name in sorted(set(candidate_metrics) & set(baseline_metrics)):
         if not is_ratio_metric(name) and not args.absolute:
             print(f"  {name:<36} skipped (absolute; use --absolute)")
             continue
@@ -134,12 +157,12 @@ def main(argv=None) -> int:
         )
         if cand < floor:
             failures.append(name)
-    if compared == 0:
+    if compared == 0 and not failures:
         raise SystemExit("no comparable metrics between the two artifacts")
     if failures:
         print(
-            f"FAIL: {len(failures)} metric(s) regressed > "
-            f"{args.tolerance:.0%}: {', '.join(failures)}",
+            f"FAIL: {len(failures)} metric(s) regressed or went missing "
+            f"(tolerance {args.tolerance:.0%}): {', '.join(failures)}",
             file=sys.stderr,
         )
         return 1

@@ -183,6 +183,32 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     return 0 if report.warnings_identical else 1
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.experiments.observability import (
+        observability_corridor,
+        write_report,
+    )
+
+    report = observability_corridor(
+        n_vehicles=args.vehicles,
+        duration_s=args.duration,
+        motorways=args.motorways,
+        seed=args.seed,
+        profile_name=None if args.profile == "none" else args.profile,
+        shards=args.shards,
+    )
+    write_report(report, json_path=args.json, prometheus_path=args.prom)
+    if args.format == "json":
+        import json as _json
+
+        print(_json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.format_markdown())
+    if report.invariants is not None and not report.invariants.ok:
+        return 1
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     """Run every paper experiment at reduced scale, in order."""
     from repro.core.system import default_training_dataset
@@ -387,6 +413,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parallel.add_argument("--seed", type=int, default=7, help="scenario seed")
     parallel.set_defaults(func=_cmd_parallel)
+
+    obs = commands.add_parser(
+        "obs",
+        help="instrumented corridor run: metrics, spans, invariant audit",
+    )
+    obs.add_argument(
+        "--vehicles", type=int, default=16, help="vehicles per RSU"
+    )
+    obs.add_argument(
+        "--duration", type=float, default=5.0, help="simulated seconds"
+    )
+    obs.add_argument(
+        "--motorways", type=int, default=2, help="motorway RSUs in the corridor"
+    )
+    obs.add_argument("--seed", type=int, default=7, help="scenario seed")
+    obs.add_argument(
+        "--profile",
+        default="none",
+        help="fault profile to inject (serial runs only; default: none)",
+    )
+    obs.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run the multi-process engine and merge per-shard snapshots",
+    )
+    obs.add_argument(
+        "--format", default="md", choices=["md", "json"], help="stdout format"
+    )
+    obs.add_argument("--json", help="also write the JSON report to this path")
+    obs.add_argument(
+        "--prom", help="also write Prometheus text exposition to this path"
+    )
+    obs.set_defaults(func=_cmd_obs)
 
     reproduce = commands.add_parser(
         "reproduce",

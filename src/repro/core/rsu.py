@@ -29,6 +29,8 @@ from repro.dataset.schema import ABNORMAL
 from repro.microbatch.context import ProcessingModel, StreamingContext
 from repro.ml.base import Detector, as_detector
 from repro.net.link import WiredLink
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.simkernel.simulator import Simulator
 from repro.streaming.broker import Broker, BrokerUnavailable
 from repro.streaming.consumer import Consumer
@@ -149,6 +151,7 @@ class RsuNode:
             processing_model=self.config.processing_model,
             jitter_source=jitter_source,
             raw=self.config.columnar,
+            name=name,
         )
         self.context.stream.foreach_batch(self._on_batch)
         # Collaboration state
@@ -180,6 +183,9 @@ class RsuNode:
         self.summaries_sent = 0
         self.summaries_received = 0
         self.summaries_lost = 0
+        #: Records polled into a micro-batch whose completion found the
+        #: broker down — consumed (and committed) but never detected.
+        self.records_dead_on_crash = 0
         self.failed = False
 
     def _make_pipeline_consumer(self) -> Consumer:
@@ -279,7 +285,7 @@ class RsuNode:
         re-merges (:meth:`PredictionSummary.merge`) and the next batch
         goes back through the collaborative detector.
         """
-        arrived = False
+        arrived = 0
         for record in self._co_consumer.poll():
             summary = PredictionSummary.from_payload(record.value)
             existing = self.summaries.get(summary.car_id)
@@ -289,12 +295,19 @@ class RsuNode:
             else:
                 self.summaries[summary.car_id] = summary
             self.summaries_received += 1
-            arrived = True
+            arrived += 1
         if arrived:
             self._last_co_arrival = self.sim.now
             if self.degraded:
                 self.degraded = False
                 self.degradation_events.append((self.sim.now, "recovered"))
+                registry = obs_metrics.active()
+                if registry is not None:
+                    registry.counter(
+                        "rsu.degradation_transitions",
+                        rsu=self.name,
+                        kind="recovered",
+                    ).inc()
 
     def _check_upstream_silence(self) -> None:
         """Degrade to road-only detection when CO-DATA goes silent.
@@ -315,6 +328,13 @@ class RsuNode:
         if self.sim.now - self._last_co_arrival > timeout:
             self.degraded = True
             self.degradation_events.append((self.sim.now, "degraded"))
+            registry = obs_metrics.active()
+            if registry is not None:
+                registry.counter(
+                    "rsu.degradation_transitions",
+                    rsu=self.name,
+                    kind="degraded",
+                ).inc()
 
     def _active_detector(self) -> Detector:
         """The detector for this batch: road-only NB while degraded."""
@@ -326,18 +346,27 @@ class RsuNode:
         """Detect anomalies in one micro-batch and disseminate warnings."""
         if not self.broker.available:
             # The node went down while this batch was in flight; its
-            # results die with the process.
+            # results die with the process.  Their offsets were already
+            # committed at poll time, so a restart never replays them —
+            # the detection-conservation invariant counts them here.
+            self.records_dead_on_crash += len(batch)
             return
         # Summaries must fold in even on idle ticks, so a handover
         # arriving before the target sees any telemetry is not lost.
         self._drain_co_data()
         self._check_upstream_silence()
+        registry = obs_metrics.active()
+        if registry is not None and self._last_co_arrival is not None:
+            registry.gauge(
+                "rsu.co_staleness_s", agg="max", rsu=self.name
+            ).set(self.sim.now - self._last_co_arrival)
         if batch.is_empty():
             return
-        if self.config.columnar:
-            self._on_batch_block(batch, completion_time)
-        else:
-            self._on_batch_records(batch, completion_time)
+        with span("rsu.batch", rsu=self.name):
+            if self.config.columnar:
+                self._on_batch_block(batch, completion_time)
+            else:
+                self._on_batch_records(batch, completion_time)
 
     def _on_batch_records(self, batch, completion_time: float) -> None:
         """The original per-record loop (``columnar=False``)."""
@@ -346,11 +375,21 @@ class RsuNode:
         detector = self._active_detector()
         if self.degraded:
             self.degraded_batches += 1
-        classes, probs = detector.detect(records, self.summaries)
-        # Online detectors keep learning from what they just scored
-        # (prequential: predict first, then observe); the protocol
-        # makes observe a no-op everywhere else.
-        detector.observe(records)
+        with span("rsu.detect", rsu=self.name):
+            classes, probs = detector.detect(records, self.summaries)
+            # Online detectors keep learning from what they just scored
+            # (prequential: predict first, then observe); the protocol
+            # makes observe a no-op everywhere else.
+            detector.observe(records)
+        registry = obs_metrics.active()
+        if registry is not None:
+            arrivals = [p["arrived_at"] for p in payloads]
+            self._observe_batch(
+                registry,
+                len(records),
+                sum(1 for cls in classes if int(cls) == ABNORMAL),
+                completion_time - sum(arrivals) / len(arrivals),
+            )
         for payload, record, cls, prob in zip(payloads, records, classes, probs):
             history = self._history.setdefault(record.car_id, [])
             history.append(float(prob))
@@ -395,9 +434,18 @@ class RsuNode:
         detector = self._active_detector()
         if self.degraded:
             self.degraded_batches += 1
-        classes, probs = detector.detect_block(block, self.summaries)
-        detector.observe_block(block)
+        with span("rsu.detect", rsu=self.name):
+            classes, probs = detector.detect_block(block, self.summaries)
+            detector.observe_block(block)
         abnormal = np.asarray(classes) == ABNORMAL
+        registry = obs_metrics.active()
+        if registry is not None:
+            self._observe_batch(
+                registry,
+                len(block),
+                int(abnormal.sum()),
+                completion_time - float(np.mean(block.arrived_at)),
+            )
         self.events.append_block(
             block.car_id,
             block.generated_at,
@@ -469,6 +517,19 @@ class RsuNode:
                 detected_at=completion_time,
             )
 
+    def _observe_batch(
+        self, registry, n_records: int, n_abnormal: int, latency_s: float
+    ) -> None:
+        """Batch-granularity metrics (never per record: the columnar
+        hot path's per-record budget rules that out)."""
+        registry.counter("rsu.records_detected", rsu=self.name).inc(n_records)
+        registry.counter("rsu.records_abnormal", rsu=self.name).inc(n_abnormal)
+        registry.histogram(
+            "rsu.batch_latency_ms",
+            obs_metrics.LATENCY_MS_EDGES,
+            rsu=self.name,
+        ).observe(latency_s * 1e3)
+
     def _emit_warning(
         self,
         car_id: int,
@@ -496,7 +557,10 @@ class RsuNode:
         except BrokerUnavailable:
             # Only reachable in an ack-loss window (a down broker has
             # no running pipeline): the warning *was* appended, just
-            # unacknowledged — vehicles still receive it.
+            # unacknowledged — vehicles still receive it.  The metric
+            # counters for both branches are folded from these plain
+            # attributes at finalize — never a registry lookup per
+            # warning on the hot path.
             self.warnings_ack_lost += 1
             return
         self.warnings_issued += 1
@@ -569,6 +633,7 @@ class RsuNode:
 
         if link.send(len(payload), deliver) is None:
             # Partitioned link: dropped at the sender, no delivery.
+            # (Metric counters fold from these attributes at finalize.)
             self.summaries_lost += 1
         else:
             self.summaries_sent += 1

@@ -80,6 +80,11 @@ class ScenarioSpec:
     #: Seconds of CO-DATA silence before collaborating RSUs degrade to
     #: road-only detection (``None`` disables degradation).
     upstream_timeout_s: Optional[float] = None
+    #: Collect pipeline metrics and spans during the run
+    #: (:mod:`repro.obs`).  Off by default: instrumentation sites are
+    #: no-ops without an active registry, and the observer-effect
+    #: golden test pins that enabling it never changes results.
+    observability: bool = False
     #: Worker processes the corridor's RSUs are partitioned across.
     #: ``1`` (the seed behaviour) runs single-process; ``> 1`` makes
     #: the :meth:`~ScenarioBuilder.corridor` terminal return a
@@ -196,6 +201,16 @@ class ScenarioBuilder:
 
     def columnar(self, enabled: bool = True) -> "ScenarioBuilder":
         return self._set(columnar=enabled)
+
+    def observe(self, enabled: bool = True) -> "ScenarioBuilder":
+        """Collect metrics + spans during the run (:mod:`repro.obs`).
+
+        The run result gains an ``obs`` registry snapshot; results stay
+        bit-identical to an unobserved run (the observer-effect test
+        pins this).  Works under sharding too: each worker keeps its
+        own registry and the engine merges the snapshots.
+        """
+        return self._set(observability=enabled)
 
     def shards(self, count: int) -> "ScenarioBuilder":
         """Partition the corridor across ``count`` worker processes.

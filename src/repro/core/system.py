@@ -144,6 +144,9 @@ class ScenarioResult:
     #: Fault/recovery accounting (None only for results built by older
     #: code paths that predate the resilience layer).
     resilience: Optional[ResilienceStats] = None
+    #: Merged metrics snapshot (:class:`repro.obs.metrics.RegistrySnapshot`);
+    #: None unless the run had ``observability=True``.
+    obs: Optional[object] = None
 
     # ------------------------------------------------------------------
     def _all_latencies(self, attribute: str) -> np.ndarray:
@@ -198,6 +201,7 @@ class ScenarioResult:
             "resilience": (
                 None if self.resilience is None else self.resilience.to_dict()
             ),
+            "obs": None if self.obs is None else self.obs.to_dict(),
             "n_vehicles": len(self.vehicle_stats),
             "mean_e2e_ms": self.mean_e2e_ms(),
             "mean_tx_ms": self.mean_tx_ms(),
@@ -330,6 +334,9 @@ class TestbedScenario:
         self._next_car_id = 1
         self._record_pools: Dict[RoadType, List[TelemetryRecord]] = {}
         self._injector = None
+        # Populated by run() on observability runs.
+        self.obs_registry = None
+        self.obs_recorder = None
 
     @staticmethod
     def builder() -> ScenarioBuilder:
@@ -705,17 +712,41 @@ class TestbedScenario:
 
             self._injector = FaultInjector(self)
             self._injector.install(self.config.faults)
-        for rsu in self.rsus.values():
-            rsu.start(until=until)
-        for vehicle in self.vehicles:
-            vehicle.start(until=until)
-        # Allow in-flight batches/polls to complete shortly past the
-        # nominal end before freezing measurements.
-        self.sim.run_until(until + 0.5)
-        for vehicle in self.vehicles:
-            vehicle.stop()
-        for rsu in self.rsus.values():
-            rsu.stop()
+        observing = bool(getattr(self.config, "observability", False))
+        snapshot = None
+        if observing:
+            # Imported lazily: repro.obs stays off the cold path.
+            from repro.obs import metrics as obs_metrics
+            from repro.obs.collect import finalize_scenario
+            from repro.obs.trace import (
+                SpanRecorder,
+                disable_tracing,
+                enable_tracing,
+            )
+
+            self.obs_registry = obs_metrics.MetricsRegistry()
+            self.obs_recorder = SpanRecorder()
+            obs_metrics.enable(self.obs_registry)
+            enable_tracing(self.obs_recorder)
+        try:
+            for rsu in self.rsus.values():
+                rsu.start(until=until)
+            for vehicle in self.vehicles:
+                vehicle.start(until=until)
+            # Allow in-flight batches/polls to complete shortly past the
+            # nominal end before freezing measurements.
+            self.sim.run_until(until + 0.5)
+            for vehicle in self.vehicles:
+                vehicle.stop()
+            for rsu in self.rsus.values():
+                rsu.stop()
+            if observing:
+                finalize_scenario(self, self.obs_registry, self.obs_recorder)
+                snapshot = self.obs_registry.snapshot()
+        finally:
+            if observing:
+                obs_metrics.disable()
+                disable_tracing()
 
         return ScenarioResult(
             config=self.config,
@@ -723,6 +754,7 @@ class TestbedScenario:
             rsu_metrics=collect_rsu_metrics(self.rsus, self.config.duration_s),
             vehicle_stats={v.car_id: v.stats for v in self.vehicles},
             resilience=self._collect_resilience(),
+            obs=snapshot,
         )
 
     def _collect_resilience(self) -> ResilienceStats:

@@ -160,6 +160,11 @@ class VehicleNode:
         self._inflight: Dict[int, Tuple[float, dict]] = {}
         self._pending_tx: Dict[int, Tuple[float, dict, int]] = {}
         self._detached = False
+        # One entry per handover: (old_broker, OUT-DATA read positions,
+        # OUT-DATA end offsets at the moment of migration).  The
+        # invariant audit scans these to classify warnings left behind
+        # on abandoned brokers; nothing in the run itself reads them.
+        self._departures: List[Tuple[object, Dict[int, int], Dict[int, int]]] = []
         self._attach_consumer()
 
     # ------------------------------------------------------------------
@@ -250,10 +255,35 @@ class VehicleNode:
         onto a different road where the old records are stale (the new
         RSU has no model for them).
         """
+        self._record_departure()
         self.rsu = new_rsu
         self.channel = new_channel
         self._producer.rebind(new_rsu.broker, drop_pending=drop_pending)
         self._attach_consumer()
+
+    def _record_departure(self) -> None:
+        """Snapshot the OUT-DATA read state on the broker being left.
+
+        Pure reads (positions and log-end offsets); the audit later
+        classifies un-consumed warnings on the old broker as orphaned
+        (already appended when we left) or late (emitted afterwards,
+        from telemetry still in the old pipeline).
+        """
+        old_broker = self.rsu.broker
+        positions = {
+            partition: position
+            for (topic, partition), position in self._consumer._positions.items()
+            if topic == OUT_DATA
+        }
+        try:
+            topic = old_broker.topic(OUT_DATA)
+        except Exception:
+            return
+        ends = {
+            partition: topic.partition(partition).end_offset
+            for partition in positions
+        }
+        self._departures.append((old_broker, positions, ends))
 
     def set_records(self, records: Iterable[TelemetryRecord]) -> None:
         """Switch the replayed sub-dataset (paper: migrated producers

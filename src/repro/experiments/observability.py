@@ -1,0 +1,184 @@
+"""The observability experiment: an instrumented corridor run.
+
+Runs the corridor with the :mod:`repro.obs` layer enabled, audits the
+pipeline's conservation invariants (serial runs), and renders what the
+instruments saw — as a markdown report for humans, a JSON document for
+tooling, or a Prometheus text-exposition file for scrapers.
+
+This is the ``repro obs`` CLI entry point; the same report object is
+what the invariant-audited test harness asserts on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.system import TestbedScenario, default_training_dataset
+from repro.obs.audit import InvariantReport, audit_scenario
+from repro.obs.expo import render_prometheus
+from repro.obs.metrics import RegistrySnapshot, format_key
+
+
+@dataclass
+class ObservabilityReport:
+    """One instrumented corridor run, rendered."""
+
+    snapshot: RegistrySnapshot
+    #: Conservation-law audit; None for sharded runs (the audit needs
+    #: the live scenario objects, which die with the worker processes).
+    invariants: Optional[InvariantReport] = None
+    params: Dict[str, object] = field(default_factory=dict)
+    #: Per-shard live snapshot sizes, sharded runs only.
+    n_shards: int = 1
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "params": self.params,
+            "n_shards": self.n_shards,
+            "metrics": self.snapshot.to_dict(),
+            "invariants": (
+                None if self.invariants is None else self.invariants.to_dict()
+            ),
+        }
+
+    def to_prometheus(self) -> str:
+        return render_prometheus(self.snapshot)
+
+    # ------------------------------------------------------------------
+    def format_markdown(self) -> str:
+        snap = self.snapshot
+        lines: List[str] = ["# Observability report", ""]
+        if self.params:
+            lines.append(
+                "run: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+            )
+            lines.append("")
+
+        if snap.counters:
+            lines += ["## Counters", "", "| metric | value |", "|---|---:|"]
+            for key in sorted(snap.counters):
+                lines.append(f"| `{format_key(key)}` | {snap.counters[key]} |")
+            lines.append("")
+        if snap.gauges:
+            lines += [
+                "## Gauges",
+                "",
+                "| metric | agg | value |",
+                "|---|---|---:|",
+            ]
+            for key in sorted(snap.gauges):
+                agg, value = snap.gauges[key]
+                lines.append(f"| `{format_key(key)}` | {agg} | {value:g} |")
+            lines.append("")
+        if snap.histograms:
+            lines += [
+                "## Histograms",
+                "",
+                "| metric | count | mean | sum |",
+                "|---|---:|---:|---:|",
+            ]
+            for key in sorted(snap.histograms):
+                _edges, _counts, total, count = snap.histograms[key]
+                mean = total / count if count else 0.0
+                lines.append(
+                    f"| `{format_key(key)}` | {count} | {mean:.3f} "
+                    f"| {total:.3f} |"
+                )
+            lines.append("")
+
+        if self.invariants is not None:
+            status = "PASS" if self.invariants.ok else "FAIL"
+            lines += [f"## Invariants — {status}", ""]
+            for name, terms in self.invariants.terms.items():
+                term_text = ", ".join(
+                    f"{term}={value}" for term, value in terms.items()
+                )
+                lines.append(f"- `{name}`: {term_text}")
+            for failure in self.invariants.failures:
+                lines.append(f"- **VIOLATED**: {failure}")
+            lines.append("")
+        return "\n".join(lines)
+
+
+def observability_corridor(
+    n_vehicles: int = 16,
+    duration_s: float = 5.0,
+    motorways: int = 2,
+    seed: int = 7,
+    profile_name: Optional[str] = None,
+    shards: int = 1,
+    dataset=None,
+) -> ObservabilityReport:
+    """Run an instrumented corridor and collect everything observed.
+
+    ``profile_name`` injects a fault profile (serial runs only, like
+    the resilience experiment); ``shards > 1`` runs the multi-process
+    engine and reports the merged cross-shard snapshot instead of the
+    (serial-only) invariant audit.
+    """
+    dataset = dataset or default_training_dataset(seed=11, n_cars=60)
+    builder = (
+        TestbedScenario.builder()
+        .vehicles(n_vehicles)
+        .duration(duration_s)
+        .seed(seed)
+        .serde("struct")
+        .handover(0.25)
+        .observe()
+    )
+    params: Dict[str, object] = {
+        "n_vehicles": n_vehicles,
+        "duration_s": duration_s,
+        "motorways": motorways,
+        "seed": seed,
+        "profile": profile_name or "none",
+        "shards": shards,
+    }
+
+    if shards > 1:
+        if profile_name:
+            raise ValueError(
+                "fault profiles are not supported under sharding; "
+                "run with --shards 1"
+            )
+        from repro.parallel.engine import ShardedScenario
+
+        spec = builder.shards(shards).build()
+        engine = ShardedScenario(spec, motorways=motorways, dataset=dataset)
+        result = engine.run()
+        return ObservabilityReport(
+            snapshot=result.obs, params=params, n_shards=engine.n_shards
+        )
+
+    if profile_name:
+        from repro.faults.events import profile as fault_profile
+        from repro.streaming.producer import RetryPolicy
+
+        builder = builder.faults(
+            fault_profile(profile_name, duration_s)
+        ).retry(RetryPolicy())
+    scenario = builder.corridor(motorways=motorways, dataset=dataset)
+    result = scenario.run()
+    return ObservabilityReport(
+        snapshot=result.obs,
+        invariants=audit_scenario(scenario),
+        params=params,
+    )
+
+
+def write_report(
+    report: ObservabilityReport,
+    json_path: Optional[str] = None,
+    prometheus_path: Optional[str] = None,
+) -> None:
+    """Optional file artefacts next to the printed report."""
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+    if prometheus_path:
+        with open(prometheus_path, "w", encoding="utf-8") as handle:
+            handle.write(report.to_prometheus())

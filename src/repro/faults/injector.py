@@ -20,6 +20,7 @@ from repro.faults.events import (
     LinkPartition,
     RsuKill,
 )
+from repro.obs import metrics as obs_metrics
 from repro.streaming.broker import BrokerUnavailable
 
 
@@ -45,6 +46,9 @@ class FaultInjector:
         self.log.append(
             FaultRecord(self.scenario.sim.now, kind, target, detail)
         )
+        registry = obs_metrics.active()
+        if registry is not None:
+            registry.counter("faults.injected", kind=kind).inc()
 
     # ------------------------------------------------------------------
     def install(self, profile: FaultProfile) -> None:

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional
 
 from repro.microbatch.batch import Batch
 from repro.microbatch.dstream import DStream
+from repro.obs import metrics as obs_metrics
 from repro.simkernel.simulator import Simulator
 from repro.streaming.consumer import Consumer
 
@@ -83,6 +84,9 @@ class StreamingContext:
         bytes, and the sink is expected to batch-decode them (the
         columnar RSU path does, via
         :func:`repro.core.wire.decode_telemetry_block`).
+    name:
+        Label for this context's metrics (the owning RSU's name);
+        contexts without a name report under ``rsu=""``.
     """
 
     def __init__(
@@ -93,6 +97,7 @@ class StreamingContext:
         processing_model: Optional[ProcessingModel] = None,
         jitter_source: Optional[Callable[[], float]] = None,
         raw: bool = False,
+        name: Optional[str] = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval_s must be positive: {interval_s}")
@@ -102,6 +107,7 @@ class StreamingContext:
         self.processing_model = processing_model or ProcessingModel()
         self.jitter_source = jitter_source
         self.raw = raw
+        self.name = name or ""
         self.stream = DStream()
         self.metrics: List[BatchMetrics] = []
         self._stop: Optional[Callable[[], None]] = None
@@ -123,6 +129,15 @@ class StreamingContext:
     # ------------------------------------------------------------------
     def _tick(self) -> None:
         batch_time = self.sim.now
+        registry = obs_metrics.active()
+        if registry is not None:
+            # Consumer lag *before* the poll = IN-DATA queue depth as
+            # the batch is cut (pure read: lag() never commits).
+            registry.histogram(
+                "broker.in_data_depth",
+                obs_metrics.DEPTH_EDGES,
+                rsu=self.name,
+            ).observe(self.consumer.lag())
         records = self.consumer.poll(deserialize=not self.raw)
         batch = Batch([r.value for r in records], batch_time=batch_time)
         jitter = self.jitter_source() if self.jitter_source else 0.0
@@ -141,6 +156,17 @@ class StreamingContext:
                 completion_time=completion,
             )
         )
+        if registry is not None:
+            registry.histogram(
+                "microbatch.batch_size",
+                obs_metrics.BATCH_SIZE_EDGES,
+                rsu=self.name,
+            ).observe(len(batch))
+            registry.histogram(
+                "microbatch.processing_ms",
+                obs_metrics.LATENCY_MS_EDGES,
+                rsu=self.name,
+            ).observe(duration * 1e3)
         self.sim.at(
             completion,
             lambda b=batch, t=completion: self.stream.process(b, t),

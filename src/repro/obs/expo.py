@@ -1,0 +1,94 @@
+"""Prometheus-style text exposition for registry snapshots.
+
+Renders a :class:`~repro.obs.metrics.RegistrySnapshot` in the
+Prometheus text format (version 0.0.4) so an external scraper — or a
+human with ``grep`` — can read a run's metrics.  Metric names are
+sanitised (``.`` → ``_``, ``repro_`` prefix, counters get ``_total``);
+histograms expand to cumulative ``_bucket{le=...}`` series plus
+``_sum`` and ``_count``, exactly as a Prometheus client library would.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.obs.metrics import MetricKey, RegistrySnapshot
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    return "repro_" + _NAME_OK.sub("_", name) + suffix
+
+
+def _label_str(labels: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: RegistrySnapshot) -> str:
+    """The snapshot as Prometheus text exposition (one string)."""
+    lines: List[str] = []
+    # Group by metric name so each gets exactly one TYPE header.
+    by_name: Dict[str, List[Tuple[str, MetricKey]]] = {}
+    for key in snapshot.counters:
+        by_name.setdefault(key[0], []).append(("counter", key))
+    for key in snapshot.gauges:
+        by_name.setdefault(key[0], []).append(("gauge", key))
+    for key in snapshot.histograms:
+        by_name.setdefault(key[0], []).append(("histogram", key))
+
+    for name in sorted(by_name):
+        entries = sorted(by_name[name], key=lambda e: e[1])
+        kind = entries[0][0]
+        if kind == "counter":
+            metric = _metric_name(name, "_total")
+            lines.append(f"# TYPE {metric} counter")
+            for _, key in entries:
+                lines.append(
+                    f"{metric}{_label_str(key[1])} "
+                    f"{_format_value(snapshot.counters[key])}"
+                )
+        elif kind == "gauge":
+            metric = _metric_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            for _, key in entries:
+                _agg, value = snapshot.gauges[key]
+                lines.append(
+                    f"{metric}{_label_str(key[1])} {_format_value(value)}"
+                )
+        else:
+            metric = _metric_name(name)
+            lines.append(f"# TYPE {metric} histogram")
+            for _, key in entries:
+                edges, counts, total, count = snapshot.histograms[key]
+                cumulative = 0
+                for edge, bucket in zip(edges, counts[:-1]):
+                    cumulative += bucket
+                    le = f'le="{edge:g}"'
+                    lines.append(
+                        f"{metric}_bucket{_label_str(key[1], le)} {cumulative}"
+                    )
+                inf = 'le="+Inf"'
+                lines.append(
+                    f"{metric}_bucket{_label_str(key[1], inf)} {count}"
+                )
+                lines.append(
+                    f"{metric}_sum{_label_str(key[1])} {_format_value(total)}"
+                )
+                lines.append(f"{metric}_count{_label_str(key[1])} {count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(snapshot: RegistrySnapshot, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_prometheus(snapshot))

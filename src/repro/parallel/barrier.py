@@ -31,6 +31,11 @@ from repro.streaming.serde import FlatStructSerde, SerdeError
 FRAME_SUMMARY = 1  # CO-DATA prediction summary for a remote RSU's broker
 FRAME_TELEMETRY = 2  # an in-flight DSRC frame addressed to a remote RSU
 FRAME_TRANSFER = 3  # a detached vehicle's full migration state
+# A shard's cumulative metrics snapshot.  Unlike the kinds above this
+# frame has NO ``[u8 len][rsu name]`` routing header (it is addressed
+# to the engine itself, never to a shard) — consumers must dispatch on
+# kind *before* calling :func:`frame_target`.
+FRAME_METRICS = 4
 
 _SUMMARY_HEAD = struct.Struct("<d")
 _TELEMETRY_HEAD = struct.Struct("<dq")

@@ -32,8 +32,9 @@ from repro.core.system import (
     corridor_bundle,
 )
 from repro.core.topology import corridor_topology
+from repro.obs.metrics import RegistrySnapshot
 from repro.streaming.shm import ShmRing
-from repro.parallel.barrier import frame_target, sync_schedule
+from repro.parallel.barrier import FRAME_METRICS, frame_target, sync_schedule
 from repro.parallel.plan import ShardPlan, ShardPlanner
 from repro.parallel.worker import ShardContext, shard_worker_main
 
@@ -116,6 +117,9 @@ class ShardedScenario:
         self.undelivered_frames = 0
         #: Per-RSU warning tuples, for golden-equivalence comparison.
         self.warning_logs: Dict[str, list] = {}
+        #: Latest per-shard metrics snapshot, decoded off the rings as
+        #: the run progresses (observability runs only).
+        self.shard_snapshots: Dict[int, RegistrySnapshot] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -197,6 +201,14 @@ class ShardedScenario:
                     reply = self._recv(worker, "done")
                     cpu.append(reply[1])
                     for kind, buf in worker.outbox.drain():
+                        if kind == FRAME_METRICS:
+                            # Addressed to the engine, not a shard — no
+                            # routing header (frame_target would read
+                            # garbage).  Cumulative: replace, don't add.
+                            self.shard_snapshots[worker.index] = (
+                                RegistrySnapshot.decode(buf)
+                            )
+                            continue
                         shard = self.plan.shard_of(frame_target(buf))
                         pending[shard].append((kind, buf))
                 self.window_timings.append(
@@ -277,10 +289,19 @@ class ShardedScenario:
             resilience.restarted_at_s.update(partial.restarted_at_s)
         ordered_names = self.topology.rsu_names()
         self.warning_logs = {name: warning_logs[name] for name in ordered_names}
+        obs = None
+        snapshots = [
+            result["obs"] for result in results if result.get("obs") is not None
+        ]
+        if snapshots:
+            obs = RegistrySnapshot()
+            for snapshot in snapshots:
+                obs = obs.merge(snapshot)
         return ScenarioResult(
             config=self.config,
             duration_s=self.config.duration_s,
             rsu_metrics={name: rsu_metrics[name] for name in ordered_names},
             vehicle_stats=dict(sorted(vehicle_stats.items())),
             resilience=resilience,
+            obs=obs,
         )

@@ -37,9 +37,13 @@ from repro.core.system import (
 )
 from repro.core.topology import CorridorTopology, HandoverSpec
 from repro.core.wire import topic_serdes
+from repro.obs import metrics as obs_metrics
+from repro.obs.collect import finalize_scenario
+from repro.obs.trace import SpanRecorder, disable_tracing, enable_tracing
 from repro.streaming.serde import JsonSerde
 from repro.streaming.shm import ShmRing
 from repro.parallel.barrier import (
+    FRAME_METRICS,
     FRAME_SUMMARY,
     FRAME_TELEMETRY,
     FRAME_TRANSFER,
@@ -118,6 +122,16 @@ class _ShardWorker:
         self.transfer_out: List[dict] = []
         self._proxies: Dict[str, RemoteRsuProxy] = {}
 
+        # Each worker is its own process, so the module-global active
+        # registry is per-shard; the engine merges the snapshots.
+        self.obs_registry = None
+        self.obs_recorder = None
+        if getattr(ctx.spec, "observability", False):
+            self.obs_registry = obs_metrics.MetricsRegistry()
+            self.obs_recorder = SpanRecorder()
+            obs_metrics.enable(self.obs_registry)
+            enable_tracing(self.obs_recorder)
+
         scenario = TestbedScenario(ctx.spec)
         scenario.materialize(
             ctx.topology,
@@ -154,8 +168,18 @@ class _ShardWorker:
     # ------------------------------------------------------------------
     def serve(self) -> None:
         self.ctx.conn.send(("ready", self.build_cpu_s))
+        shard = str(self.ctx.shard_index)
         while True:
-            message = self.ctx.conn.recv()
+            if self.obs_registry is not None:
+                wait_start = time.perf_counter()
+                message = self.ctx.conn.recv()
+                self.obs_registry.histogram(
+                    "shard.barrier_wait_ms",
+                    obs_metrics.WAIT_MS_EDGES,
+                    shard=shard,
+                ).observe((time.perf_counter() - wait_start) * 1e3)
+            else:
+                message = self.ctx.conn.recv()
             op = message[0]
             if op == "step":
                 _, barrier, n_frames, final = message
@@ -341,6 +365,14 @@ class _ShardWorker:
             )
             count += 1
         self.transfer_out.clear()
+        if self.obs_registry is not None:
+            # Cumulative snapshot every barrier: the engine keeps the
+            # latest per shard (replace, not accumulate), so mid-run
+            # telemetry is always a consistent prefix of the run.
+            self.ctx.outbox.push(
+                FRAME_METRICS, self.obs_registry.snapshot().encode()
+            )
+            count += 1
         return count
 
     # ------------------------------------------------------------------
@@ -355,6 +387,14 @@ class _ShardWorker:
         self.scenario.vehicles = [
             v for v in self.scenario.vehicles if not v.detached
         ]
+        obs_snapshot = None
+        if self.obs_registry is not None:
+            finalize_scenario(
+                self.scenario, self.obs_registry, self.obs_recorder
+            )
+            obs_snapshot = self.obs_registry.snapshot()
+            obs_metrics.disable()
+            disable_tracing()
         result = {
             "rsu_metrics": collect_rsu_metrics(
                 self.scenario.rsus, self.spec.duration_s
@@ -367,6 +407,7 @@ class _ShardWorker:
                 for name, rsu in self.scenario.rsus.items()
             },
             "resilience": self.scenario._collect_resilience(),
+            "obs": obs_snapshot,
         }
         self.ctx.conn.send(("result", result))
         self.ctx.inbox.close()

@@ -27,6 +27,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Optional
 
+from repro.obs import metrics as obs_metrics
 from repro.streaming.broker import Broker, BrokerUnavailable
 from repro.streaming.records import RecordMetadata
 from repro.streaming.serde import JsonSerde, Serde, serialize_key
@@ -203,10 +204,17 @@ class Producer:
     # ------------------------------------------------------------------
     def _enqueue(self, pending: _Pending) -> None:
         assert self.retry is not None
+        registry = obs_metrics.active()
         if len(self._buffer) >= self.retry.max_buffered:
             self._buffer.popleft()
             self.records_dropped += 1
+            if registry is not None:
+                registry.counter("producer.records_dropped").inc()
         self._buffer.append(pending)
+        if registry is not None:
+            registry.gauge("producer.retry_buffer_peak", agg="max").set(
+                len(self._buffer)
+            )
 
     @property
     def buffered(self) -> int:
@@ -218,6 +226,9 @@ class Producer:
             return
         delay = self.retry.backoff_s(self._attempt)
         self._attempt += 1
+        registry = obs_metrics.active()
+        if registry is not None:
+            registry.counter("producer.backoff_events").inc()
         self._flush_scheduled = True
         self.sim.after(
             delay, self._on_flush_timer, label=f"{self.client_id}-retry"

@@ -59,6 +59,22 @@ def motorway_records(trip_split):
 
 
 @pytest.fixture(scope="session")
+def audit_invariants():
+    """The invariant audit as a fixture: call it on any finished
+    *serial* scenario and the pipeline's conservation laws are checked
+    (telemetry, detection, collaboration, warning accounting — see
+    :mod:`repro.obs.audit`).  Raises ``AssertionError`` with every
+    violated law when a record or warning went missing unaccounted.
+
+    Session-scoped (it is stateless) so module-scoped scenario
+    fixtures can use it too.
+    """
+    from repro.obs.audit import assert_invariants
+
+    return assert_invariants
+
+
+@pytest.fixture(scope="session")
 def upstream_summaries(motorway_detector, motorway_records):
     train_mw, test_mw = motorway_records
     return (

@@ -183,7 +183,9 @@ def _vehicle_signature(result):
 
 
 @pytest.mark.parametrize("serde_profile", ["json", "struct"])
-def test_columnar_pipeline_is_bit_identical(labeled_dataset, serde_profile):
+def test_columnar_pipeline_is_bit_identical(
+    labeled_dataset, serde_profile, audit_invariants
+):
     """Same seeds, same serde: columnar and per-record runs must agree
     on every event, warning, summary count, and latency sample."""
     legacy_result, legacy_scenario = _run_corridor(
@@ -192,6 +194,9 @@ def test_columnar_pipeline_is_bit_identical(labeled_dataset, serde_profile):
     columnar_result, columnar_scenario = _run_corridor(
         labeled_dataset, columnar=True, serde_profile=serde_profile
     )
+    # Both engines must also conserve every record and warning.
+    audit_invariants(legacy_scenario)
+    audit_invariants(columnar_scenario)
     assert _event_stream(legacy_scenario) == _event_stream(columnar_scenario)
     assert _vehicle_signature(legacy_result) == _vehicle_signature(
         columnar_result

@@ -1,0 +1,58 @@
+"""Prometheus text-format rendering."""
+
+from repro.obs.expo import render_prometheus, write_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.counter("rsu.records_detected", rsu="rsu-mw-1").inc(10)
+    registry.counter("rsu.records_detected", rsu="rsu-mw-2").inc(20)
+    registry.gauge("rsu.co_staleness_s", agg="max", rsu="rsu-link").set(0.25)
+    hist = registry.histogram("microbatch.batch_size", (1.0, 5.0), rsu="a")
+    hist.observe(1.0)
+    hist.observe(3.0)
+    hist.observe(99.0)
+    return registry.snapshot()
+
+
+def test_counter_rendering():
+    text = render_prometheus(_snapshot())
+    assert "# TYPE repro_rsu_records_detected_total counter" in text
+    assert 'repro_rsu_records_detected_total{rsu="rsu-mw-1"} 10' in text
+    assert 'repro_rsu_records_detected_total{rsu="rsu-mw-2"} 20' in text
+    # one TYPE header per metric name, not per label set
+    assert text.count("# TYPE repro_rsu_records_detected_total") == 1
+
+
+def test_gauge_rendering():
+    text = render_prometheus(_snapshot())
+    assert "# TYPE repro_rsu_co_staleness_s gauge" in text
+    assert 'repro_rsu_co_staleness_s{rsu="rsu-link"} 0.25' in text
+
+
+def test_histogram_cumulative_buckets():
+    lines = render_prometheus(_snapshot()).splitlines()
+    bucket_lines = [
+        line for line in lines if line.startswith("repro_microbatch_batch_size_bucket")
+    ]
+    # le buckets are cumulative and end at +Inf == count
+    assert bucket_lines == [
+        'repro_microbatch_batch_size_bucket{rsu="a",le="1"} 1',
+        'repro_microbatch_batch_size_bucket{rsu="a",le="5"} 2',
+        'repro_microbatch_batch_size_bucket{rsu="a",le="+Inf"} 3',
+    ]
+    assert 'repro_microbatch_batch_size_sum{rsu="a"} 103' in lines
+    assert 'repro_microbatch_batch_size_count{rsu="a"} 3' in lines
+
+
+def test_empty_snapshot_renders_empty():
+    assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+def test_write_prometheus(tmp_path):
+    path = tmp_path / "metrics.prom"
+    write_prometheus(_snapshot(), path)
+    content = path.read_text()
+    assert content.endswith("\n")
+    assert "repro_rsu_records_detected_total" in content

@@ -1,0 +1,233 @@
+"""Registry semantics plus the snapshot merge algebra.
+
+The sharded engine merges per-worker snapshots in arbitrary arrival
+order and starts the fold from an empty snapshot, so merge must be a
+commutative monoid — pinned here with hypothesis over generated
+snapshot triples.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    BATCH_SIZE_EDGES,
+    MetricsRegistry,
+    RegistrySnapshot,
+    active,
+    disable,
+    enable,
+    format_key,
+)
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+def test_counter_monotonic():
+    registry = MetricsRegistry()
+    counter = registry.counter("events", rsu="a")
+    counter.inc()
+    counter.inc(5)
+    assert registry.snapshot().counter_value("events", rsu="a") == 6
+    with pytest.raises(ValueError, match=">= 0"):
+        counter.inc(-1)
+    assert counter.value == 6
+
+
+def test_counter_identity_by_name_and_labels():
+    registry = MetricsRegistry()
+    registry.counter("x", rsu="a").inc()
+    registry.counter("x", rsu="b").inc(2)
+    registry.counter("x", rsu="a").inc()  # same instrument as the first
+    snap = registry.snapshot()
+    assert snap.counter_value("x", rsu="a") == 2
+    assert snap.counter_value("x", rsu="b") == 2
+    assert snap.counter_total("x") == 4
+
+
+def test_gauge_aggregations():
+    registry = MetricsRegistry()
+    registry.gauge("peak", agg="max").set(3.0)
+    registry.gauge("peak", agg="max").set(1.0)
+    registry.gauge("floor", agg="min").set(3.0)
+    registry.gauge("floor", agg="min").set(1.0)
+    registry.gauge("total", agg="sum").set(3.0)
+    registry.gauge("total", agg="sum").set(1.0)
+    snap = registry.snapshot()
+    assert snap.gauge_value("peak") == 3.0
+    assert snap.gauge_value("floor") == 1.0
+    assert snap.gauge_value("total") == 4.0
+
+
+def test_gauge_agg_conflict_rejected():
+    registry = MetricsRegistry()
+    registry.gauge("g", agg="max")
+    with pytest.raises(ValueError, match="agg"):
+        registry.gauge("g", agg="sum")
+    with pytest.raises(ValueError, match="one of"):
+        registry.gauge("h", agg="mean")
+
+
+def test_unset_gauge_absent_from_snapshot():
+    registry = MetricsRegistry()
+    registry.gauge("never_set", agg="max")
+    assert registry.snapshot().gauge_value("never_set") is None
+
+
+def test_histogram_bucket_edges_are_le_semantics():
+    registry = MetricsRegistry()
+    hist = registry.histogram("size", BATCH_SIZE_EDGES)
+    # Exactly on an edge falls in that bucket (le semantics), just
+    # above falls in the next, above the last edge overflows.
+    hist.observe(0.0)
+    hist.observe(1.0)
+    hist.observe(1.0001)
+    hist.observe(500.0)
+    hist.observe(500.0001)
+    assert hist.counts[0] == 1  # <= 0
+    assert hist.counts[1] == 1  # <= 1
+    assert hist.counts[2] == 1  # <= 2
+    assert hist.counts[-2] == 1  # <= 500
+    assert hist.counts[-1] == 1  # overflow
+    assert hist.count == 5
+    assert hist.mean() == pytest.approx(1002.0002 / 5)
+
+
+def test_histogram_rejects_bad_edges():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="strictly increase"):
+        registry.histogram("h", (1.0, 1.0))
+    with pytest.raises(ValueError, match="strictly increase"):
+        registry.histogram("h2", (2.0, 1.0))
+    with pytest.raises(ValueError, match="at least one"):
+        registry.histogram("h3", ())
+
+
+def test_histogram_edge_conflict_rejected():
+    registry = MetricsRegistry()
+    registry.histogram("h", (1.0, 2.0))
+    with pytest.raises(ValueError, match="edges"):
+        registry.histogram("h", (1.0, 3.0))
+
+
+def test_format_key():
+    assert format_key(("plain", ())) == "plain"
+    assert format_key(("x", (("a", "1"), ("b", "2")))) == "x{a=1,b=2}"
+
+
+# ----------------------------------------------------------------------
+# Module-level activation
+# ----------------------------------------------------------------------
+def test_enable_disable_roundtrip():
+    assert active() is None
+    registry = enable()
+    try:
+        assert active() is registry
+        own = MetricsRegistry()
+        assert enable(own) is own
+        assert active() is own
+    finally:
+        disable()
+    assert active() is None
+
+
+# ----------------------------------------------------------------------
+# Merge algebra (hypothesis)
+# ----------------------------------------------------------------------
+_names = st.sampled_from(["a.b", "c", "rsu.batch", "x.y.z"])
+_labels = st.dictionaries(
+    st.sampled_from(["rsu", "shard", "kind"]),
+    st.sampled_from(["1", "2", "north"]),
+    max_size=2,
+)
+_EDGE_SETS = [(1.0, 5.0), (0.5, 2.0, 8.0)]
+
+
+@st.composite
+def snapshots(draw):
+    registry = MetricsRegistry()
+    for _ in range(draw(st.integers(0, 4))):
+        registry.counter(draw(_names), **draw(_labels)).inc(
+            draw(st.integers(0, 1000))
+        )
+    for agg in draw(
+        st.lists(st.sampled_from(["sum", "max", "min"]), max_size=2)
+    ):
+        # Name encodes the agg so generated snapshots never conflict.
+        registry.gauge(f"gauge.{agg}", agg=agg).set(
+            draw(st.floats(-100, 100, allow_nan=False))
+        )
+    for edge_index in draw(
+        st.lists(st.integers(0, len(_EDGE_SETS) - 1), max_size=2)
+    ):
+        hist = registry.histogram(
+            f"hist.{edge_index}", _EDGE_SETS[edge_index]
+        )
+        for value in draw(
+            st.lists(st.floats(0, 20, allow_nan=False), max_size=5)
+        ):
+            hist.observe(value)
+    return registry.snapshot()
+
+
+@settings(max_examples=60, deadline=None)
+@given(snapshots(), snapshots())
+def test_merge_commutative(a, b):
+    assert a.merge(b) == b.merge(a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(snapshots(), snapshots(), snapshots())
+def test_merge_associative(a, b, c):
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert left.counters == right.counters
+    assert set(left.histograms) == set(right.histograms)
+    for key in left.histograms:
+        l_edges, l_counts, l_sum, l_count = left.histograms[key]
+        r_edges, r_counts, r_sum, r_count = right.histograms[key]
+        assert (l_edges, l_counts, l_count) == (r_edges, r_counts, r_count)
+        # float addition is not exactly associative for the sums
+        assert l_sum == pytest.approx(r_sum, abs=1e-9)
+    for key in left.gauges:
+        agg, lv = left.gauges[key]
+        _, rv = right.gauges[key]
+        assert lv == pytest.approx(rv, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(snapshots())
+def test_merge_empty_identity(snap):
+    empty = RegistrySnapshot()
+    assert empty.merge(snap) == snap
+    assert snap.merge(empty) == snap
+
+
+@settings(max_examples=60, deadline=None)
+@given(snapshots())
+def test_encode_decode_roundtrip(snap):
+    assert RegistrySnapshot.decode(snap.encode()) == snap
+
+
+def test_merge_conflicting_gauge_aggs_rejected():
+    a = RegistrySnapshot(gauges={("g", ()): ("max", 1.0)})
+    b = RegistrySnapshot(gauges={("g", ()): ("sum", 1.0)})
+    with pytest.raises(ValueError, match="conflicting"):
+        a.merge(b)
+
+
+def test_merge_conflicting_histogram_edges_rejected():
+    a = RegistrySnapshot(histograms={("h", ()): ((1.0,), (0, 0), 0.0, 0)})
+    b = RegistrySnapshot(histograms={("h", ()): ((2.0,), (0, 0), 0.0, 0)})
+    with pytest.raises(ValueError, match="conflicting"):
+        a.merge(b)
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ValueError, match="magic"):
+        RegistrySnapshot.decode(b"\x00" * 32)
+    with pytest.raises(ValueError, match="version"):
+        RegistrySnapshot.decode(
+            bytes([0xB5, 99]) + b"\x00" * 12
+        )

@@ -1,0 +1,66 @@
+"""Observer-effect golden test: instrumentation must never change results.
+
+Every metric site reads simulation state; none may mutate it, consume
+a record, or draw from a seeded RNG stream.  The proof: the same
+seeded corridor with observability on and off produces bit-identical
+warnings, events, and latency samples.
+"""
+
+from repro.core.scenario import paper_corridor
+
+
+def _run(labeled_dataset, observe):
+    builder = paper_corridor().vehicles(6).duration(2.0).serde("struct")
+    if observe:
+        builder = builder.observe()
+    scenario = builder.corridor(motorways=2, dataset=labeled_dataset)
+    result = scenario.run()
+    return scenario, result
+
+
+def _signature(scenario, result):
+    return {
+        "warnings": {
+            name: rsu.warning_log() for name, rsu in scenario.rsus.items()
+        },
+        "events": {
+            name: [
+                (e.car_id, e.generated_at, e.arrived_at, e.detected_at, e.abnormal)
+                for e in rsu.events
+            ]
+            for name, rsu in scenario.rsus.items()
+        },
+        "vehicles": {
+            car: (
+                stats.records_sent,
+                stats.bytes_sent,
+                stats.warnings_received,
+                stats.e2e_latencies_s,
+                stats.dissemination_latencies_s,
+            )
+            for car, stats in result.vehicle_stats.items()
+        },
+    }
+
+
+def test_observability_is_bit_identical_to_off(labeled_dataset):
+    plain_scenario, plain_result = _run(labeled_dataset, observe=False)
+    observed_scenario, observed_result = _run(labeled_dataset, observe=True)
+    assert _signature(plain_scenario, plain_result) == _signature(
+        observed_scenario, observed_result
+    )
+    # And the observed run actually observed something.
+    snap = observed_result.obs
+    assert snap is not None
+    assert snap.counter_total("rsu.records_detected") > 0
+    assert plain_result.obs is None
+
+
+def test_observability_disabled_after_run(labeled_dataset):
+    from repro.obs.metrics import active
+    from repro.obs.trace import active_recorder
+
+    _run(labeled_dataset, observe=True)
+    # run() must tear the module globals down even though it enabled them.
+    assert active() is None
+    assert active_recorder() is None

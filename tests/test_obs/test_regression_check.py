@@ -1,0 +1,169 @@
+"""The throughput-regression gate must not pass silently when a ratio
+metric vanishes from the candidate artifact.
+
+Historically ``regression_check.py`` intersected baseline and
+candidate metric names, so a harness change that *stopped measuring*
+a guaranteed ratio (e.g. the serde decode ratio) sailed through the
+gate.  Missing ratio metrics must now fail with the metric named;
+missing absolute throughputs stay skippable (host-dependent, and old
+artifacts legitimately lack new ones).
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def regression_check():
+    spec = importlib.util.spec_from_file_location(
+        "regression_check", REPO_ROOT / "benchmarks" / "regression_check.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("regression_check", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _bench1_report(
+    speedup=4.0,
+    decode_ratio=8.0,
+    obs_ratio=0.995,
+    records_per_s=500_000,
+    include_obs=True,
+):
+    report = {
+        "bench": "BENCH_1",
+        "mode": "full",
+        "pass": True,
+        "rsu_micro_batch": {
+            "speedup": speedup,
+            "variants": {
+                "columnar+struct": {"records_per_s": records_per_s}
+            },
+        },
+        "serde": {
+            "decode_throughput_ratio": decode_ratio,
+            "struct": {"batch_decode_records_per_s": records_per_s * 2},
+        },
+    }
+    if include_obs:
+        report["obs_overhead"] = {"ratio": obs_ratio}
+    return report
+
+
+def _write(tmp_path, name, report):
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return path
+
+
+class TestMissingMetrics:
+    def test_missing_ratio_metric_fails(
+        self, regression_check, tmp_path, capsys
+    ):
+        baseline = _write(tmp_path, "baseline.json", _bench1_report())
+        candidate = _write(
+            tmp_path, "candidate.json", _bench1_report(include_obs=False)
+        )
+        rc = regression_check.main(
+            ["--candidate", str(candidate), "--baseline", str(baseline)]
+        )
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "obs_overhead_ratio" in captured.out
+        assert "MISSING" in captured.out
+        assert "obs_overhead_ratio (missing)" in captured.err
+
+    def test_missing_absolute_metric_is_skipped(
+        self, regression_check, tmp_path, capsys
+    ):
+        # BENCH_3 carries a free-form regression_metrics dict, so a
+        # candidate can legitimately lack an absolute metric the
+        # baseline has — that stays a skip, not a failure.
+        baseline = _write(
+            tmp_path,
+            "baseline.json",
+            {
+                "bench": "BENCH_3",
+                "pass": True,
+                "full": {
+                    "regression_metrics": {
+                        "window_speedup": 4.0,
+                        "window_records_per_s": 100_000,
+                    }
+                },
+            },
+        )
+        candidate = _write(
+            tmp_path,
+            "candidate.json",
+            {
+                "bench": "BENCH_3",
+                "mode": "full",
+                "full": {"regression_metrics": {"window_speedup": 4.0}},
+            },
+        )
+        rc = regression_check.main(
+            ["--candidate", str(candidate), "--baseline", str(baseline)]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "missing from candidate (absolute; skipped)" in captured.out
+
+    def test_missing_obs_in_old_baseline_still_passes(
+        self, regression_check, tmp_path
+    ):
+        """Old committed baselines predate obs_overhead; a candidate
+        that *adds* the metric must not fail against them."""
+        baseline = _write(
+            tmp_path, "baseline.json", _bench1_report(include_obs=False)
+        )
+        candidate = _write(tmp_path, "candidate.json", _bench1_report())
+        rc = regression_check.main(
+            ["--candidate", str(candidate), "--baseline", str(baseline)]
+        )
+        assert rc == 0
+
+
+class TestRegressionStillCaught:
+    def test_regressed_ratio_fails(self, regression_check, tmp_path, capsys):
+        baseline = _write(tmp_path, "baseline.json", _bench1_report())
+        candidate = _write(
+            tmp_path, "candidate.json", _bench1_report(decode_ratio=2.0)
+        )
+        rc = regression_check.main(
+            ["--candidate", str(candidate), "--baseline", str(baseline)]
+        )
+        assert rc == 1
+        assert "serde_decode_ratio" in capsys.readouterr().err
+
+    def test_healthy_candidate_passes(self, regression_check, tmp_path):
+        baseline = _write(tmp_path, "baseline.json", _bench1_report())
+        candidate = _write(
+            tmp_path,
+            "candidate.json",
+            _bench1_report(speedup=4.2, decode_ratio=8.5, obs_ratio=1.0),
+        )
+        rc = regression_check.main(
+            ["--candidate", str(candidate), "--baseline", str(baseline)]
+        )
+        assert rc == 0
+
+    def test_obs_overhead_regression_fails(
+        self, regression_check, tmp_path, capsys
+    ):
+        baseline = _write(tmp_path, "baseline.json", _bench1_report())
+        candidate = _write(
+            tmp_path, "candidate.json", _bench1_report(obs_ratio=0.5)
+        )
+        rc = regression_check.main(
+            ["--candidate", str(candidate), "--baseline", str(baseline)]
+        )
+        assert rc == 1
+        assert "obs_overhead_ratio" in capsys.readouterr().err

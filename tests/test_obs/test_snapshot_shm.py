@@ -1,0 +1,80 @@
+"""Snapshot transport over the shard shm rings.
+
+The sharded engine publishes FRAME_METRICS frames (an encoded
+:class:`RegistrySnapshot`, no routing header) on the same SPSC rings
+that carry routed summary/telemetry/transfer frames; the drain loop
+must dispatch on kind *before* peeking a routing target.
+"""
+
+from repro.obs.metrics import MetricsRegistry, RegistrySnapshot
+from repro.parallel.barrier import (
+    FRAME_METRICS,
+    FRAME_SUMMARY,
+    encode_summary,
+    frame_target,
+)
+from repro.streaming.shm import ShmRing
+
+
+def _sample_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("rsu.records_detected", rsu="rsu-mw-1").inc(42)
+    registry.gauge("producer.retry_buffer_peak", agg="max").set(7)
+    registry.histogram("microbatch.batch_size", (1.0, 10.0), rsu="a").observe(
+        3.0
+    )
+    return registry.snapshot()
+
+
+def test_snapshot_round_trips_through_ring():
+    ring = ShmRing(1 << 16)
+    try:
+        snap = _sample_snapshot()
+        ring.push(FRAME_METRICS, snap.encode())
+        kind, buf = ring.pop()
+        assert kind == FRAME_METRICS
+        assert RegistrySnapshot.decode(buf) == snap
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_metrics_frames_interleave_with_routed_frames():
+    """A drain that dispatches on kind first must recover both the
+    snapshot and the routed frame's target, in order."""
+    ring = ShmRing(1 << 16)
+    try:
+        snap = _sample_snapshot()
+        ring.push(FRAME_SUMMARY, encode_summary("rsu-mw-2", 1.5, b"payload"))
+        ring.push(FRAME_METRICS, snap.encode())
+        frames = ring.drain()
+        assert [kind for kind, _ in frames] == [FRAME_SUMMARY, FRAME_METRICS]
+        assert frame_target(frames[0][1]) == "rsu-mw-2"
+        assert RegistrySnapshot.decode(frames[1][1]) == snap
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_cumulative_snapshots_replace_not_accumulate():
+    """The engine keeps the *latest* snapshot per shard; pushing a
+    newer cumulative snapshot must fully supersede the older one."""
+    registry = MetricsRegistry()
+    counter = registry.counter("x")
+    counter.inc(5)
+    first = registry.snapshot()
+    counter.inc(3)
+    second = registry.snapshot()
+
+    ring = ShmRing(1 << 16)
+    try:
+        ring.push(FRAME_METRICS, first.encode())
+        ring.push(FRAME_METRICS, second.encode())
+        latest = {}
+        for kind, buf in ring.drain():
+            assert kind == FRAME_METRICS
+            latest[0] = RegistrySnapshot.decode(buf)
+        assert latest[0].counter_value("x") == 8
+    finally:
+        ring.close()
+        ring.unlink()

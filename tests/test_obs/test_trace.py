@@ -1,0 +1,103 @@
+"""Span recorder: nesting, ring bounds, registry folding, no-op path."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    SpanRecorder,
+    active_recorder,
+    disable_tracing,
+    enable_tracing,
+    span,
+)
+
+
+def test_span_nesting_depth_and_parent():
+    recorder = SpanRecorder()
+    with recorder.span("outer"):
+        with recorder.span("inner"):
+            with recorder.span("leaf"):
+                pass
+    # Completion order: leaf, inner, outer.
+    leaf, inner, outer = recorder.spans()
+    assert (leaf.name, leaf.depth, leaf.parent) == ("leaf", 2, "inner")
+    assert (inner.name, inner.depth, inner.parent) == ("inner", 1, "outer")
+    assert (outer.name, outer.depth, outer.parent) == ("outer", 0, None)
+    assert all(record.duration_s >= 0 for record in recorder.spans())
+
+
+def test_span_stack_unwinds_on_exception():
+    recorder = SpanRecorder()
+    with pytest.raises(RuntimeError):
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                raise RuntimeError("boom")
+    assert recorder._stack == []
+    assert recorder.names() == ["inner", "outer"]
+
+
+def test_span_labels_sorted():
+    recorder = SpanRecorder()
+    with recorder.span("s", rsu="north", shard=1):
+        pass
+    (record,) = recorder.spans("s")
+    assert record.labels == (("rsu", "north"), ("shard", "1"))
+
+
+def test_ring_bounded_and_counts_drops():
+    recorder = SpanRecorder(capacity=2)
+    for index in range(5):
+        with recorder.span(f"s{index}"):
+            pass
+    assert len(recorder) == 2
+    assert recorder.dropped == 3
+    assert recorder.names() == ["s3", "s4"]
+
+
+def test_summary_shape():
+    recorder = SpanRecorder()
+    for _ in range(3):
+        with recorder.span("a"):
+            pass
+    summary = recorder.summary()
+    assert summary["a"]["count"] == 3
+    assert summary["a"]["total_ms"] >= summary["a"]["max_ms"]
+    assert summary["a"]["mean_ms"] == pytest.approx(
+        summary["a"]["total_ms"] / 3
+    )
+
+
+def test_fold_into_registry():
+    recorder = SpanRecorder()
+    with recorder.span("rsu.detect"):
+        pass
+    registry = MetricsRegistry()
+    recorder.fold_into(registry)
+    stats = registry.snapshot().histogram_stats("span.rsu.detect_ms")
+    assert stats["count"] == 1
+
+
+def test_module_level_span_noop_when_disabled():
+    assert active_recorder() is None
+    context = span("anything")
+    with context:
+        pass  # must not raise, records nothing anywhere
+    # The no-op context is a shared singleton — zero allocation per site.
+    assert span("other") is context
+
+
+def test_module_level_span_records_when_enabled():
+    recorder = enable_tracing()
+    try:
+        assert active_recorder() is recorder
+        with span("rsu.batch", rsu="x"):
+            pass
+        assert recorder.names() == ["rsu.batch"]
+    finally:
+        disable_tracing()
+    assert active_recorder() is None
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError, match=">= 1"):
+        SpanRecorder(capacity=0)

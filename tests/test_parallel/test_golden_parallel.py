@@ -34,9 +34,12 @@ def _vehicle_signature(result):
 
 
 @pytest.fixture(scope="module")
-def serial_run(labeled_dataset):
+def serial_run(labeled_dataset, audit_invariants):
     scenario = _builder().corridor(motorways=2, dataset=labeled_dataset)
     result = scenario.run()
+    # The comparator itself must conserve records/warnings, or the
+    # bit-identical assertions below prove equivalence to a broken run.
+    audit_invariants(scenario)
     warnings = {name: rsu.warning_log() for name, rsu in scenario.rsus.items()}
     return result, warnings
 
@@ -106,6 +109,39 @@ class TestGoldenParallel:
         assert scenario.plan.cross_edges(scenario.topology)
         link = result.rsu_metrics["rsu-mw-link"]
         assert link.summaries_received > 0
+
+
+class TestShardedObservability:
+    def test_merged_snapshot_matches_serial_totals(self, labeled_dataset):
+        """Per-shard registries merged at collect must total exactly
+        what one serial registry sees: the merge is the whole story of
+        cross-shard metrics, so every additive counter must agree."""
+        serial = (
+            _builder().observe().corridor(motorways=2, dataset=labeled_dataset)
+        )
+        serial_snap = serial.run().obs
+        sharded = (
+            _builder()
+            .observe()
+            .shards(4)
+            .corridor(motorways=2, dataset=labeled_dataset)
+        )
+        merged = sharded.run().obs
+        assert merged is not None
+        for name in (
+            "vehicle.records_sent",
+            "vehicle.warnings_received",
+            "rsu.records_detected",
+            "rsu.warnings_emitted",
+            "rsu.summaries_sent",
+            "rsu.summaries_received",
+            "broker.records_in",
+        ):
+            assert merged.counter_total(name) == serial_snap.counter_total(
+                name
+            ), name
+        # Per-shard live snapshots flowed over the rings during the run.
+        assert len(sharded.shard_snapshots) == sharded.n_shards
 
 
 class TestShardingGates:

@@ -209,6 +209,88 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Markdown delta table: a fresh BENCH_*.json vs the committed
+    baseline of the same bench id.
+
+    The metric extractors live with the regression gate
+    (``benchmarks/regression_check.py``) so the two can never drift;
+    this command only renders their output, which also means it must
+    run from a checkout (the benchmarks/ directory is not part of the
+    installed package).
+    """
+    import json
+    from pathlib import Path
+
+    candidate_path = Path(args.candidate)
+    root = None
+    for base in (Path.cwd(), candidate_path.resolve().parent):
+        for probe in (base, *base.parents):
+            if (probe / "benchmarks" / "regression_check.py").exists():
+                root = probe
+                break
+        if root is not None:
+            break
+    if root is None:
+        print(
+            "repro bench needs a repository checkout (benchmarks/"
+            "regression_check.py not found above the cwd or the candidate)",
+            file=sys.stderr,
+        )
+        return 2
+    sys.path.insert(0, str(root))
+    from benchmarks.regression_check import (
+        apply_aliases,
+        extract_metrics,
+        is_ratio_metric,
+    )
+
+    candidate = json.loads(candidate_path.read_text())
+    bench = candidate.get("bench")
+    mode = candidate.get("mode", "full") if bench == "BENCH_3" else "full"
+    candidate_metrics = apply_aliases(extract_metrics(candidate, mode))
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / f"{bench}.json"
+    )
+    print(f"### {bench} delta ({candidate.get('mode', 'full')} candidate)\n")
+    if not baseline_path.exists():
+        print(f"No committed baseline at `{baseline_path.name}` — new "
+              "benchmark.\n")
+        print("| metric | candidate | kind |")
+        print("|---|---:|---|")
+        for name, value in sorted(candidate_metrics.items()):
+            kind = "ratio" if is_ratio_metric(name) else "absolute"
+            print(f"| {name} | {value:,.3f} | {kind} (no baseline) |")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    baseline_metrics = apply_aliases(extract_metrics(baseline, mode))
+
+    print(f"Baseline: `{baseline_path.name}` "
+          f"({baseline.get('mode', 'full')} mode)\n")
+    print("| metric | candidate | baseline | delta | kind |")
+    print("|---|---:|---:|---:|---|")
+    for name in sorted(set(candidate_metrics) | set(baseline_metrics)):
+        kind = "ratio" if is_ratio_metric(name) else "absolute"
+        cand = candidate_metrics.get(name)
+        base = baseline_metrics.get(name)
+        if cand is None:
+            print(f"| {name} | — | {base:,.3f} | missing | {kind} |")
+            continue
+        if base is None:
+            print(f"| {name} | {cand:,.3f} | — | new | {kind} |")
+            continue
+        delta = (cand - base) / base if base else float("nan")
+        print(
+            f"| {name} | {cand:,.3f} | {base:,.3f} | {delta:+.1%} | {kind} |"
+        )
+    print(
+        "\nRatio metrics are same-host relative and gate the CI check; "
+        "absolute throughputs are informational across hosts."
+    )
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     """Run every paper experiment at reduced scale, in order."""
     from repro.core.system import default_training_dataset
@@ -447,6 +529,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--prom", help="also write Prometheus text exposition to this path"
     )
     obs.set_defaults(func=_cmd_obs)
+
+    bench = commands.add_parser(
+        "bench",
+        help="markdown delta table: fresh BENCH_*.json vs committed baseline",
+    )
+    bench.add_argument("candidate", help="freshly produced BENCH_*.json")
+    bench.add_argument(
+        "--baseline",
+        help="baseline artifact (default: repo-root <bench>.json)",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     reproduce = commands.add_parser(
         "reproduce",

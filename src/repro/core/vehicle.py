@@ -91,6 +91,14 @@ class VehicleNode:
         drops telemetry refused by a down broker.
     """
 
+    #: Perf-baseline switch (class level, snapshotted at construction):
+    #: ``True`` restores the pre-overhaul per-tick behaviour — payload
+    #: rebuilt from the record on every 10 Hz send, every OUT-DATA
+    #: warning deserialized per vehicle.  Results are bit-identical
+    #: either way; the BENCH_4 corridor baseline flips this to measure
+    #: what the precomputed-payload/shared-decode paths buy.
+    legacy_tick = False
+
     def __init__(
         self,
         sim: Simulator,
@@ -116,7 +124,10 @@ class VehicleNode:
             raise ValueError(f"unknown dissemination mode: {dissemination!r}")
         self.sim = sim
         self.car_id = car_id
-        self._records = itertools.cycle(list(records))
+        self._legacy_tick = bool(self.legacy_tick)
+        self._payloads: List[dict] = []
+        self._payload_cycle = iter(())
+        self._prepare_payloads(list(records))
         self.rsu = rsu
         self.channel = channel
         self.shaper = shaper
@@ -210,7 +221,7 @@ class VehicleNode:
         # Desynchronise vehicles: each starts at a random phase within
         # its first update period, as real beacons are unaligned.
         phase = float(self._rng.uniform(0.0, self.update_period_s))
-        self._cancel_produce = self.sim.every(
+        self._cancel_produce = self.sim.every_group(
             self.update_period_s,
             self._send_telemetry,
             start=self.sim.now + phase,
@@ -220,7 +231,7 @@ class VehicleNode:
         if self.dissemination == "notify":
             self._subscribe_notify()
             return
-        self._cancel_poll = self.sim.every(
+        self._cancel_poll = self.sim.every_group(
             self.poll_interval_s,
             self._poll_warnings,
             start=self.sim.now + float(self._rng.uniform(0.0, self.poll_interval_s)),
@@ -291,7 +302,34 @@ class VehicleNode:
         items = list(records)
         if not items:
             raise ValueError("record stream cannot be empty")
-        self._records = itertools.cycle(items)
+        self._prepare_payloads(items)
+
+    def _prepare_payloads(self, records: List[TelemetryRecord]) -> None:
+        """Precompute the wire payload for every record in the stripe.
+
+        Replay cycles a fixed stripe, so each record's ``IN-DATA``
+        payload — including the feature-context work inside
+        :func:`record_to_payload` — is computed once here instead of on
+        every 10 Hz tick.  The car-identity override is applied once
+        too ("car" is already the first key, so insertion order and
+        hence the serialized bytes are unchanged).  Payloads are never
+        mutated after this point, so in-flight envelopes may share
+        them; an empty stripe is tolerated at construction (it only
+        fails if a tick actually fires), matching the old ``cycle()``
+        semantics.
+        """
+        payloads = []
+        for record in records:
+            payload = record_to_payload(record)
+            payload["car"] = self.car_id
+            payloads.append(payload)
+        #: The replayed records, kept for introspection (the payloads
+        #: drop fields like ``trip_id`` that never go on the wire).
+        self._stripe = records
+        self._payloads = payloads
+        self._payload_cycle = itertools.cycle(payloads)
+        # Only consumed on the legacy (perf-baseline) tick path.
+        self._record_cycle = itertools.cycle(records)
 
     # ------------------------------------------------------------------
     # Cross-process handover (sharded engine)
@@ -362,7 +400,7 @@ class VehicleNode:
             raise RuntimeError(f"vehicle {self.car_id} already running")
         self._started = True
         if produce_next is not None:
-            self._cancel_produce = self.sim.every(
+            self._cancel_produce = self.sim.every_group(
                 self.update_period_s,
                 self._send_telemetry,
                 start=produce_next,
@@ -372,7 +410,7 @@ class VehicleNode:
         if self.dissemination == "notify":
             self._subscribe_notify()
         elif poll_next is not None:
-            self._cancel_poll = self.sim.every(
+            self._cancel_poll = self.sim.every_group(
                 self.poll_interval_s,
                 self._poll_warnings,
                 start=poll_next,
@@ -382,13 +420,16 @@ class VehicleNode:
 
     # ------------------------------------------------------------------
     def _send_telemetry(self) -> None:
-        record = next(self._records)
+        # The payload (with this vehicle's identity already stamped) is
+        # precomputed per stripe record; only the envelope — mutated at
+        # delivery time and possibly alive across a handover — must be
+        # fresh per send.
+        if self._legacy_tick:
+            data = record_to_payload(next(self._record_cycle))
+            data["car"] = self.car_id
+        else:
+            data = next(self._payload_cycle)
         generated_at = self.sim.now
-        data = record_to_payload(record)
-        # Replayed records keep their dataset features but must carry
-        # *this* vehicle's identity, or warnings and handover summaries
-        # would key on the original dataset car.
-        data["car"] = self.car_id
         envelope = {
             "data": data,
             "generated_at": generated_at,
@@ -452,20 +493,43 @@ class VehicleNode:
 
     def _poll_warnings(self) -> None:
         try:
-            records = self._consumer.poll()
+            # Raw poll: every vehicle on a broker sees every OUT-DATA
+            # warning, so decoding happens once per warning in a memo
+            # shared through the broker (the stored bytes objects are
+            # shared too) instead of once per vehicle per warning.  The
+            # legacy (perf-baseline) path deserializes per vehicle.
+            records = self._consumer.poll(deserialize=self._legacy_tick)
         except BrokerUnavailable:
             self.stats.poll_failures += 1
             return
+        if not records:
+            return
+        if self._legacy_tick:
+            cache = None
+        else:
+            broker = self.rsu.broker
+            cache = broker.__dict__.get("_warning_decode_cache")
+            if cache is None:
+                cache = broker._warning_decode_cache = {}
+        serde = self._out_serde
         for record in records:
-            if int(record.value.get("car", -1)) != self.car_id:
+            if cache is None:
+                value = record.value
+            else:
+                raw = record.value
+                value = cache.get(raw)
+                if value is None:
+                    value = serde.deserialize(raw)
+                    cache[raw] = value
+            if int(value.get("car", -1)) != self.car_id:
                 continue
             jitter = float(
                 self._rng.uniform(-self.consumer_jitter_s, self.consumer_jitter_s)
             )
             handling = max(0.0, self.consumer_processing_s + jitter)
             received_at = self.sim.now + handling
-            detected_at = float(record.value["t"])
-            generated_at = float(record.value["generated_at"])
+            detected_at = float(value["t"])
+            generated_at = float(value["generated_at"])
             self.stats.warnings_received += 1
             self.stats.dissemination_latencies_s.append(received_at - detected_at)
             self.stats.e2e_latencies_s.append(received_at - generated_at)

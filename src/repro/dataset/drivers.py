@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -179,6 +180,41 @@ class DriverModel:
             sign = 1.0 if self._rng.random() < 0.7 else -1.0
             return sign * magnitude + float(self._rng.normal(0.0, 0.5))
         return float(self._rng.normal(0.0, calm_sigma))
+
+    def sample_batch(
+        self, mean_kmh: float, sigma_kmh: float, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``n`` (speed, accel) pairs in one vectorized draw.
+
+        Consumes the RNG stream exactly as ``n`` interleaved
+        ``sample_speed`` / ``sample_accel`` calls would: both scalar
+        paths draw one standard normal each (``normal(0, s)`` is
+        ``s * standard_normal()`` on the same ziggurat stream), so one
+        ``standard_normal(2n)`` block reproduces the identical value
+        sequence — speeds from the even lanes, accelerations from the
+        odd.  Only valid while the behaviour state is fixed (no segment
+        change mid-batch) and the episode kind is not
+        ``SUDDEN_ACCELERATION``, whose per-sample uniform (the burst
+        sign) interleaves with the normals and makes the scalar path
+        the only faithful one — callers must fall back for it.
+        """
+        if self.anomaly_kind is AnomalyKind.SUDDEN_ACCELERATION:
+            raise ValueError(
+                "sample_batch cannot reproduce the SUDDEN_ACCELERATION "
+                "draw order; use the scalar sample_speed/sample_accel"
+            )
+        z = self._rng.standard_normal(2 * n)
+        base = (mean_kmh + self.profile.speed_bias_kmh) + (
+            0.5 * sigma_kmh
+        ) * z[0::2]
+        if self.state is DriverState.CALM:
+            speeds = np.maximum(0.0, base)
+        elif self.anomaly_kind is AnomalyKind.SPEEDING:
+            speeds = np.maximum(0.0, base + self._episode_magnitude * sigma_kmh)
+        else:  # SLOWING
+            speeds = np.maximum(0.0, base - self._episode_magnitude * sigma_kmh)
+        accels = 0.6 * z[1::2]  # calm_sigma, as in sample_accel
+        return speeds, accels
 
     @property
     def in_episode(self) -> bool:

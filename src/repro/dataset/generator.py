@@ -295,11 +295,29 @@ class DatasetGenerator:
                 model.on_segment_change()
             profile = self.profiles.profile(segment.road_type, hour, weekend)
             n_samples = self._samples_for_segment(segment, profile.mean_kmh)
+            # The behaviour state is fixed for the whole segment, so the
+            # per-sample speed/accel normals batch into one vectorized
+            # draw with identical stream consumption.  Only a
+            # SUDDEN_ACCELERATION episode interleaves a uniform between
+            # the normals and must keep the scalar loop.
+            if model.anomaly_kind is AnomalyKind.SUDDEN_ACCELERATION:
+                pairs = [
+                    (
+                        model.sample_speed(profile.mean_kmh, profile.sigma_kmh),
+                        model.sample_accel(
+                            profile.sigma_kmh, config.sample_period_s
+                        ),
+                    )
+                    for _ in range(n_samples)
+                ]
+            else:
+                speeds, accels = model.sample_batch(
+                    profile.mean_kmh, profile.sigma_kmh, n_samples
+                )
+                pairs = list(zip(speeds.tolist(), accels.tolist()))
+            pairs = self._corrupt_batch(pairs)
             offset_m = 0.0
-            for _ in range(n_samples):
-                speed = model.sample_speed(profile.mean_kmh, profile.sigma_kmh)
-                accel = model.sample_accel(profile.sigma_kmh, config.sample_period_s)
-                speed, accel = self._maybe_corrupt(speed, accel)
+            for speed, accel in pairs:
                 records.append(
                     TelemetryRecord(
                         car_id=car_id,
@@ -358,6 +376,32 @@ class DatasetGenerator:
         if mode == 1:
             return speed, float(self._error_rng.uniform(25.0, 80.0))
         return 0.0, 0.0  # stuck-sensor reading
+
+    def _corrupt_batch(
+        self, pairs: List[Tuple[float, float]]
+    ) -> List[Tuple[float, float]]:
+        """Apply :meth:`_maybe_corrupt` to a segment's samples.
+
+        Fast path: draw the per-sample gate uniforms as one block.
+        When none trips (the common case at the default 1% rate) the
+        error stream has consumed exactly the same ``n`` doubles the
+        scalar loop would have, and nothing else.  When any trips, the
+        corruption draws must interleave with the gates sample by
+        sample, so the stream is rewound to the snapshot and the scalar
+        loop replays it faithfully.
+        """
+        n = len(pairs)
+        rate = self.config.erroneous_rate
+        if n == 0 or rate == 0.0:
+            if n:
+                self._error_rng.random(n)  # keep the gate consumption
+            return pairs
+        state = self._error_rng.bit_generator.state
+        gates = self._error_rng.random(n)
+        if not (gates < rate).any():
+            return pairs
+        self._error_rng.bit_generator.state = state
+        return [self._maybe_corrupt(speed, accel) for speed, accel in pairs]
 
     def _noisy_fix(
         self, object_id: int, point: LatLon, timestamp: float

@@ -114,10 +114,17 @@ class StreamingContext:
         self._busy_until = 0.0
 
     def start(self, until: Optional[float] = None) -> None:
-        """Begin ticking every ``interval_s`` until ``until``."""
+        """Begin ticking every ``interval_s`` until ``until``.
+
+        Contexts started at the same instant with the same interval
+        (every RSU in a scenario starts at t=0 with the paper's 50 ms
+        cadence) coalesce into one kernel tick group: one queue entry
+        fires all their polls, in start order — the same order their
+        independent tick events fired in before coalescing.
+        """
         if self._stop is not None:
             raise RuntimeError("StreamingContext already started")
-        self._stop = self.sim.every(
+        self._stop = self.sim.every_group(
             self.interval_s, self._tick, until=until, label="microbatch-tick"
         )
 

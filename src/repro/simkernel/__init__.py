@@ -23,14 +23,23 @@ The public surface is small:
 from repro.simkernel.clock import SimClock
 from repro.simkernel.events import Event, EventQueue
 from repro.simkernel.process import Process, ProcessState
+from repro.simkernel.reference import ReferenceEventQueue
 from repro.simkernel.rng import RngRegistry, derive_seed
-from repro.simkernel.simulator import Simulator, SimulationError
+from repro.simkernel.simulator import (
+    GroupRecurrence,
+    Recurrence,
+    SimulationError,
+    Simulator,
+)
 
 __all__ = [
     "Event",
     "EventQueue",
+    "GroupRecurrence",
     "Process",
     "ProcessState",
+    "Recurrence",
+    "ReferenceEventQueue",
     "RngRegistry",
     "SimClock",
     "SimulationError",

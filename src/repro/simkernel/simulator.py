@@ -4,11 +4,31 @@ A :class:`Simulator` owns a :class:`~repro.simkernel.clock.SimClock` and
 an :class:`~repro.simkernel.events.EventQueue` and runs callbacks in
 timestamp order.  All CAD3 experiment scenarios are driven through this
 loop, so a single seed fully determines every measurement.
+
+Two scheduling paths exist for periodic work:
+
+``every``
+    The general recurrence: each firing is its own queue entry and each
+    reschedule allocates a fresh one.  Fully flexible — callbacks may
+    read any recurrence's ``next_time`` mid-tick and see exactly the
+    per-event state.
+
+``every_group``
+    The coalesced recurrence for homogeneous tick storms (the paper's
+    50 ms micro-batch polls, 100 ms vehicle beacons): recurrences with
+    the *same interval and the same next-firing instant* share one queue
+    entry.  When it fires, member callbacks run in registration order —
+    which equals the ``(time, priority, seq)`` order N independent
+    ``every`` recurrences would have fired in, because coalesced members
+    were by construction scheduled in that order and callbacks never
+    advance the clock.  The tick grid is the identical float recurrence
+    ``next = now + interval``, so trajectories are bit-for-bit the same.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.simkernel.clock import SimClock
 from repro.simkernel.events import Event, EventQueue
@@ -32,7 +52,7 @@ class Recurrence:
 
     __slots__ = ("_queue", "_state")
 
-    def __init__(self, queue: EventQueue, state: dict) -> None:
+    def __init__(self, queue: Any, state: dict) -> None:
         self._queue = queue
         self._state = state
 
@@ -56,6 +76,193 @@ class Recurrence:
         self.cancel()
 
 
+class _GroupMember:
+    """One recurrence coalesced into a :class:`_TickGroup`."""
+
+    __slots__ = ("callback", "until", "label", "cancelled", "group")
+
+    def __init__(
+        self,
+        callback: Callable[[], Any],
+        until: Optional[float],
+        label: Optional[str],
+    ) -> None:
+        self.callback = callback
+        self.until = until
+        self.label = label
+        self.cancelled = False
+        #: The group currently carrying this member; ``None`` once the
+        #: member has fired for the last time (or never joined one).
+        self.group: Optional["_TickGroup"] = None
+
+
+class GroupRecurrence:
+    """Handle for a coalesced recurrence from :meth:`Simulator.every_group`.
+
+    Duck-types :class:`Recurrence`: calling it cancels the member, and
+    ``next_time`` reports the group's next firing instant (which *is*
+    the member's, by the coalescing invariant).  One deliberate
+    difference, documented in the determinism contract: read from inside
+    a *sibling member's* callback mid-dispatch, ``next_time`` still
+    reports the instant currently being dispatched (the group
+    reschedules once, after all members ran), where N independent
+    ``every`` handles would already show ``now + interval`` for members
+    that fired earlier in the same instant.  Settled (post-tick) state
+    is identical.
+    """
+
+    __slots__ = ("_member",)
+
+    def __init__(self, member: _GroupMember) -> None:
+        self._member = member
+
+    @property
+    def next_time(self) -> Optional[float]:
+        """Absolute time of the next firing, or ``None`` if finished."""
+        member = self._member
+        if member.cancelled or member.group is None:
+            return None
+        return member.group.time
+
+    def cancel(self) -> None:
+        member = self._member
+        if member.cancelled:
+            return
+        member.cancelled = True
+        group = member.group
+        if group is None:
+            return
+        group.live -= 1
+        if group.live == 0 and not group.dispatching:
+            group.sim._drop_group(group)
+
+    def __call__(self) -> None:
+        self.cancel()
+
+
+class _TickGroup:
+    """A coalesced set of recurrences sharing ``(interval, next_fire)``.
+
+    The group itself is the queue schedulable: the :class:`EventQueue`
+    stamps ``time`` / ``seq`` on insert and honours ``_cancelled``.
+    Dispatch fires member callbacks in registration order, then
+    reschedules the whole group at ``time + interval`` — one queue
+    operation and zero allocations per tick, no matter how many members.
+    """
+
+    __slots__ = (
+        "time",
+        "seq",
+        "callback",
+        "_cancelled",
+        "sim",
+        "interval",
+        "members",
+        "live",
+        "dispatching",
+        "_fire_n",
+        "_epoch",
+    )
+
+    def __init__(self, sim: "Simulator", interval: float) -> None:
+        self.sim = sim
+        self.interval = interval
+        self.members: List[_GroupMember] = []
+        #: Count of non-cancelled members in ``members``.
+        self.live = 0
+        self.dispatching = False
+        self._fire_n = 0
+        #: The simulator's group-creation epoch last seen by this group;
+        #: while it is unchanged, no phase-aligned group can have
+        #: appeared, so dispatch skips the collision scan entirely.
+        self._epoch = 0
+        self.callback = self._dispatch
+        # Stamped by EventQueue.schedule().
+        self.time = 0.0
+        self.seq = 0
+        self._cancelled = False
+
+    #: Groups always schedule at default priority; the class attribute
+    #: (legal alongside ``__slots__``) keeps the ordering protocol
+    #: below compatible with :class:`Event` in the reference heap.
+    priority = 0
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: Any) -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def _dispatch(self) -> None:
+        sim = self.sim
+        members = self.members
+        now = self.time
+        # Members appended *at this instant* during dispatch (a callback
+        # starting a recurrence with ``start=now``) extend the firing
+        # window via ``_fire_n``; members joining for a later instant do
+        # not fire this tick.
+        self.dispatching = True
+        self._fire_n = len(members)
+        i = 0
+        while i < self._fire_n:
+            member = members[i]
+            i += 1
+            if not member.cancelled:
+                member.callback()
+        self.dispatching = False
+
+        next_time = now + self.interval
+        drop = False
+        for member in members:
+            if member.cancelled or (
+                member.until is not None and next_time >= member.until
+            ):
+                drop = True
+                break
+        if drop:
+            survivors: List[_GroupMember] = []
+            for member in members:
+                if member.cancelled:
+                    member.group = None
+                elif member.until is not None and next_time >= member.until:
+                    member.group = None  # fired for the last time
+                else:
+                    survivors.append(member)
+            if not survivors:
+                self.members = []
+                self.live = 0
+                sim._remove_group(self)
+                return
+            self.members = survivors
+            self.live = len(survivors)
+
+        if sim._group_epoch != self._epoch:
+            # A group was created somewhere since our last tick — it may
+            # be phase-aligned with us (e.g. an RSU restart inside a
+            # fault callback).  It carries an earlier sequence number
+            # than our reschedule would, so merging *into* it — its
+            # members first, ours appended — reproduces the order
+            # independent ``every`` events would fire in.
+            self._epoch = sim._group_epoch
+            other = sim._find_group(self.interval, next_time, self)
+            if other is not None:
+                for member in self.members:
+                    member.group = other
+                other.members.extend(self.members)
+                other.live += self.live
+                self.members = []
+                self.live = 0
+                sim._remove_group(self)
+                return
+        sim.queue.schedule(self, next_time)
+
+    def __repr__(self) -> str:
+        return (
+            f"TickGroup(t={self.time:.6f}, interval={self.interval}, "
+            f"members={self.live}/{len(self.members)})"
+        )
+
+
 class Simulator:
     """Deterministic discrete-event loop.
 
@@ -66,14 +273,56 @@ class Simulator:
     max_events:
         Safety valve: ``run`` raises :class:`SimulationError` after this
         many events, catching accidental infinite self-scheduling loops.
+        A coalesced group firing counts as one event regardless of its
+        member count.
+    queue:
+        Optional queue instance (defaults to a fresh
+        ``queue_factory()``).  The kernel-equivalence tests inject the
+        reference heap here.
     """
 
-    def __init__(self, start: float = 0.0, max_events: int = 50_000_000) -> None:
+    #: Class-level queue constructor — tests swap in
+    #: :class:`repro.simkernel.reference.ReferenceEventQueue` to run the
+    #: same scenario on the pre-overhaul kernel.
+    queue_factory = EventQueue
+
+    #: When ``False``, :meth:`every_group` degrades to plain
+    #: :meth:`every` — combined with ``queue_factory`` this reproduces
+    #: the pre-overhaul kernel exactly, which is what the
+    #: kernel-equivalence tests and the BENCH_4 baseline measure
+    #: against.
+    coalesce_ticks = True
+
+    #: When ``True``, ``run``/``run_until``/``run_before`` use the
+    #: seed's peek-then-step structure (a ``peek_time`` plus a ``pop``
+    #: per event, clock advanced through the full ``advance_to`` call)
+    #: instead of the tight ``_drain`` loop.  Perf-baseline only: the
+    #: event order, and therefore every trajectory, is identical.
+    legacy_loop = False
+
+    def __init__(
+        self,
+        start: float = 0.0,
+        max_events: int = 50_000_000,
+        queue: Optional[Any] = None,
+    ) -> None:
         self.clock = SimClock(start)
-        self.queue = EventQueue()
+        self.queue = queue if queue is not None else self.queue_factory()
         self.max_events = max_events
         self._events_fired = 0
         self._running = False
+        #: Live coalesced tick groups, bucketed by interval.  New
+        #: registrations scan their interval's bucket for a group whose
+        #: next firing instant is bit-equal to theirs — recurrences
+        #: coalesce only on exact float phase.  Keeping the registry off
+        #: the per-tick path (groups are looked up at registration and
+        #: on epoch change, never on a steady-state reschedule) is what
+        #: makes a single-member group as cheap as a plain ``every``.
+        self._groups: Dict[float, List[_TickGroup]] = {}
+        #: Bumped whenever a new group is created; groups compare it to
+        #: their own snapshot to decide whether a phase-collision scan
+        #: is needed at reschedule time.
+        self._group_epoch = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -96,7 +345,7 @@ class Simulator:
         label: Optional[str] = None,
     ) -> Event:
         """Schedule ``callback`` at absolute simulated time ``time``."""
-        if time < self.clock.now:
+        if time < self.clock._now:
             raise SimulationError(
                 f"cannot schedule event at {time!r}; clock is already "
                 f"at {self.clock.now!r}"
@@ -113,7 +362,7 @@ class Simulator:
         """Schedule ``callback`` after ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"delay must be non-negative, got {delay!r}")
-        return self.queue.push(self.clock.now + delay, callback, priority, label)
+        return self.queue.push(self.clock._now + delay, callback, priority, label)
 
     def every(
         self,
@@ -122,7 +371,7 @@ class Simulator:
         start: Optional[float] = None,
         until: Optional[float] = None,
         label: Optional[str] = None,
-    ) -> Callable[[], None]:
+    ) -> Recurrence:
         """Schedule ``callback`` periodically.
 
         The first firing is at ``start`` (defaulting to ``now +
@@ -155,6 +404,103 @@ class Simulator:
 
         return Recurrence(self.queue, state)
 
+    def every_group(
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+        label: Optional[str] = None,
+    ) -> GroupRecurrence:
+        """Schedule ``callback`` periodically, coalescing with other
+        ``every_group`` recurrences that share the same ``interval`` and
+        the same (bit-equal) next firing instant.
+
+        Firing times are the identical float grid ``every`` produces
+        (``first = start`` or ``now + interval``, then ``next = now +
+        interval`` after each firing), and member callbacks run in
+        registration order — which is exactly the ``(time, priority,
+        seq)`` order N independent ``every`` recurrences would fire in.
+        The win is mechanical: one queue entry and one reschedule per
+        tick for the whole group, instead of one allocation + heap
+        operation per member per tick.
+
+        Returns
+        -------
+        A :class:`GroupRecurrence`, duck-typing :class:`Recurrence`
+        (callable canceller + ``next_time``).
+        """
+        if not self.coalesce_ticks:
+            return self.every(interval, callback, start, until, label)
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval!r}")
+        now = self.clock.now
+        first = now + interval if start is None else start
+        member = _GroupMember(callback, until, label)
+        if until is not None and first >= until:
+            return GroupRecurrence(member)  # never fires
+        if first < now:
+            raise SimulationError(
+                f"cannot schedule event at {first!r}; clock is already "
+                f"at {now!r}"
+            )
+        bucket = self._groups.get(interval)
+        if bucket is None:
+            bucket = self._groups[interval] = []
+        for group in bucket:
+            if group.time == first:
+                group.members.append(member)
+                group.live += 1
+                member.group = group
+                if group.dispatching:
+                    # Joined the instant being dispatched right now
+                    # (e.g. ``start=now`` from inside a member
+                    # callback): fire it this tick, in arrival order,
+                    # as ``every`` would.
+                    group._fire_n += 1
+                return GroupRecurrence(member)
+        group = _TickGroup(self, interval)
+        group.members.append(member)
+        group.live = 1
+        member.group = group
+        bucket.append(group)
+        self._group_epoch += 1
+        group._epoch = self._group_epoch
+        self.queue.schedule(group, first)
+        return GroupRecurrence(member)
+
+    def _find_group(
+        self, interval: float, time: float, exclude: _TickGroup
+    ) -> Optional[_TickGroup]:
+        """A live group (other than ``exclude``) at ``(interval, time)``.
+
+        Only consulted when the group-creation epoch moved: two
+        pre-existing groups with equal intervals keep a constant phase
+        difference, so phase collisions can only be introduced by a
+        fresh registration.
+        """
+        for group in self._groups.get(interval, ()):
+            if group is not exclude and group.time == time and group.live:
+                return group
+        return None
+
+    def _remove_group(self, group: _TickGroup) -> None:
+        """Drop a finished group from its interval bucket."""
+        bucket = self._groups.get(group.interval)
+        if bucket is not None:
+            try:
+                bucket.remove(group)
+            except ValueError:
+                pass
+            if not bucket:
+                del self._groups[group.interval]
+
+    def _drop_group(self, group: _TickGroup) -> None:
+        """Remove a group whose members all cancelled between ticks."""
+        self._remove_group(group)
+        self.queue.cancel(group)
+        group.members = []
+
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
         self.queue.cancel(event)
@@ -168,18 +514,82 @@ class Simulator:
         Returns ``True`` if an event fired, ``False`` if the queue was
         empty.
         """
-        if not self.queue:
+        queue = self.queue
+        obj = queue.pop_next()
+        if obj is None:
             return False
-        event = self.queue.pop()
-        self.clock.advance_to(event.time)
+        self.clock.advance_to(obj.time)
         self._events_fired += 1
         if self._events_fired > self.max_events:
             raise SimulationError(
                 f"exceeded max_events={self.max_events}; "
-                f"likely a runaway scheduling loop (last: {event!r})"
+                f"likely a runaway scheduling loop (last: {obj!r})"
             )
-        event.callback()
+        obj.callback()
+        queue.release(obj)
         return True
+
+    def _legacy_drain(self, deadline: Optional[float], strict: bool) -> None:
+        """The seed run loop: peek, bounds-check, step — per event.
+
+        Kept for the BENCH_4 baseline mode (``legacy_loop``): the seed
+        paid a ``peek_time`` (one lazy-cancel scan) *and* a ``pop``
+        (another) per event, plus the full ``advance_to`` method call.
+        Identical event order; only the constant factors differ.
+        """
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or (
+                deadline is not None
+                and (next_time >= deadline if strict else next_time > deadline)
+            ):
+                break
+            self.step()
+
+    def _drain(self, deadline: Optional[float], strict: bool) -> None:
+        """Shared run loop: pop-advance-fire-release until exhausted.
+
+        The queue method and counters are bound to locals — at ~1M
+        events/s every attribute lookup in this loop is measurable.
+        """
+        if self.legacy_loop:
+            self._legacy_drain(deadline, strict)
+            return
+        queue = self.queue
+        if deadline is None:
+            pop = queue.pop_next
+        elif strict:
+            pop = partial(queue.pop_next_before, deadline)
+        else:
+            pop = partial(queue.pop_next_until, deadline)
+        release = queue.release
+        clock = self.clock
+        fired = self._events_fired
+        max_events = self.max_events
+        try:
+            while True:
+                obj = pop()
+                if obj is None:
+                    break
+                # clock.advance_to, inlined: the queue's pop order makes
+                # time monotonic, but keep the invariant check — a
+                # backwards jump is always a kernel bug.
+                time = obj.time
+                if type(time) is not float:
+                    time = float(time)  # advance_to coerced; keep doing so
+                if time < clock._now:
+                    clock.advance_to(time)  # raises with the full message
+                clock._now = time
+                fired += 1
+                if fired > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        f"likely a runaway scheduling loop (last: {obj!r})"
+                    )
+                obj.callback()
+                release(obj)
+        finally:
+            self._events_fired = fired
 
     def run(self) -> float:
         """Run until the event queue drains.  Returns the final time."""
@@ -187,8 +597,7 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         try:
-            while self.step():
-                pass
+            self._drain(None, False)
         finally:
             self._running = False
         return self.clock.now
@@ -204,11 +613,7 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         try:
-            while True:
-                next_time = self.queue.peek_time()
-                if next_time is None or next_time > deadline:
-                    break
-                self.step()
+            self._drain(deadline, False)
         finally:
             self._running = False
         self.clock.advance_to(deadline)
@@ -232,11 +637,7 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         try:
-            while True:
-                next_time = self.queue.peek_time()
-                if next_time is None or next_time >= deadline:
-                    break
-                self.step()
+            self._drain(deadline, True)
         finally:
             self._running = False
         self.clock.advance_to(deadline)

@@ -36,6 +36,13 @@ class Consumer:
         meaningful with a group).
     """
 
+    #: Perf-baseline switch (class level, snapshotted at construction):
+    #: ``True`` restores the pre-overhaul poll, which re-sorted the
+    #: assignment on every call instead of using the cached
+    #: ``_poll_order``.  Visit order — and so every trajectory — is
+    #: identical; the BENCH_4 corridor baseline flips this.
+    legacy_poll = False
+
     def __init__(
         self,
         broker: Broker,
@@ -51,6 +58,10 @@ class Consumer:
         self.client_id = client_id or f"consumer-{next(_consumer_ids)}"
         self._subscriptions: List[str] = []
         self._positions: Dict[Tuple[str, int], int] = {}
+        self._legacy_poll = bool(self.legacy_poll)
+        #: Partition visit order for poll — sorted once when the
+        #: assignment changes, not on every 10 ms poll.
+        self._poll_order: List[Tuple[str, int]] = []
         self._balanced = False
         self._generation = -1
         self.records_consumed = 0
@@ -89,6 +100,7 @@ class Consumer:
                 self._positions[(name, partition)] = self._committed_or_zero(
                     name, partition
                 )
+        self._poll_order = sorted(self._positions)
 
     def _committed_or_zero(self, topic: str, partition: int) -> int:
         if self.group is not None:
@@ -103,6 +115,7 @@ class Consumer:
             (topic, partition): self._committed_or_zero(topic, partition)
             for topic, partition in assigned
         }
+        self._poll_order = sorted(self._positions)
 
     def close(self) -> None:
         """Leave the group (balanced mode), triggering a rebalance."""
@@ -110,6 +123,7 @@ class Consumer:
             self.broker.coordinator.leave(self.group, self.client_id)
             self._balanced = False
             self._positions = {}
+            self._poll_order = []
 
     @property
     def assigned_partitions(self) -> List[Tuple[str, int]]:
@@ -164,10 +178,14 @@ class Consumer:
         out: List[ConsumerRecord] = []
         budget = max_records
         serde = self.serde
-        for (topic, partition), position in sorted(self._positions.items()):
+        positions = self._positions
+        fetch = self.broker.fetch
+        order = sorted(positions) if self._legacy_poll else self._poll_order
+        for key in order:
             if budget <= 0:
                 break
-            stored = self.broker.fetch(topic, partition, position, budget)
+            topic, partition = key
+            stored = fetch(topic, partition, positions[key], budget)
             if not stored:
                 continue
             for record in stored:

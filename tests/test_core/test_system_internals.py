@@ -78,7 +78,7 @@ class TestConstruction:
         replay_trips = {r.trip_id for r in replay}
         train_trips = {r.trip_id for r in train}
         for vehicle in scenario.vehicles:
-            stream_sample = [next(vehicle._records) for _ in range(5)]
+            stream_sample = vehicle._stripe[:5]
             for record in stream_sample:
                 assert record.trip_id in replay_trips
                 assert record.trip_id not in train_trips

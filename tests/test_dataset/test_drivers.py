@@ -110,3 +110,56 @@ class TestDriverModel:
         for _ in range(100):
             model.on_segment_change()
         assert not model.in_episode
+
+
+class TestSampleBatch:
+    """The vectorized draw must consume the RNG stream exactly as the
+    interleaved scalar calls it replaces — same values, same stream
+    position afterwards."""
+
+    def _scalar_pairs(self, model, mean, sigma, n):
+        return [
+            (model.sample_speed(mean, sigma), model.sample_accel(sigma, 1.0))
+            for _ in range(n)
+        ]
+
+    def _assert_equivalent(self, configure):
+        scalar_model = make_model(0.7, seed=42)
+        batch_model = make_model(0.7, seed=42)
+        configure(scalar_model)
+        configure(batch_model)
+        expected = self._scalar_pairs(scalar_model, 90.0, 8.0, 50)
+        speeds, accels = batch_model.sample_batch(90.0, 8.0, 50)
+        assert list(zip(speeds.tolist(), accels.tolist())) == expected
+        # Stream positions must agree afterwards too.
+        assert scalar_model._rng.random() == batch_model._rng.random()
+
+    def test_calm_matches_scalar_bitwise(self):
+        def calm(model):
+            model.state = DriverState.CALM
+
+        self._assert_equivalent(calm)
+
+    def test_speeding_matches_scalar_bitwise(self):
+        def speeding(model):
+            model.state = DriverState.ANOMALOUS
+            model.anomaly_kind = AnomalyKind.SPEEDING
+            model._episode_magnitude = 2.0
+
+        self._assert_equivalent(speeding)
+
+    def test_slowing_matches_scalar_bitwise(self):
+        def slowing(model):
+            model.state = DriverState.ANOMALOUS
+            model.anomaly_kind = AnomalyKind.SLOWING
+            model._episode_magnitude = 1.5
+
+        self._assert_equivalent(slowing)
+
+    def test_sudden_acceleration_refuses_batching(self):
+        model = make_model(0.7, seed=3)
+        model.state = DriverState.ANOMALOUS
+        model.anomaly_kind = AnomalyKind.SUDDEN_ACCELERATION
+        model._episode_magnitude = 2.0
+        with pytest.raises(ValueError):
+            model.sample_batch(90.0, 8.0, 10)

@@ -110,7 +110,37 @@ def extract_metrics(report: dict, mode: str) -> dict:
                 "events_per_s"
             ],
         }
+    if bench == "BENCH_5":
+        return {
+            "dataplane_speedup": report["corridor"]["speedup"],
+            "dataplane_batched_vs_event_ratio": report["corridor"][
+                "batched_vs_event"
+            ],
+        }
     raise SystemExit(f"no metric extractor for bench id {bench!r}")
+
+
+def extract_wall_seconds(report: dict) -> dict:
+    """Absolute wall-clock seconds behind the ratio metrics, keyed by
+    mode.  Informational (host-dependent, never gated): ``repro bench``
+    prints them next to the ratios so a delta table shows what the
+    speedups are made of.  Empty for benches without wall-clock modes.
+    """
+    bench = report.get("bench")
+    if bench == "BENCH_4":
+        corridor = report.get("corridor", {})
+        return {
+            f"corridor_{name}_wall_s": corridor[name]["wall_ms"] / 1000.0
+            for name in ("baseline", "optimized")
+            if name in corridor
+        }
+    if bench == "BENCH_5":
+        modes = report.get("corridor", {}).get("modes", {})
+        return {
+            f"corridor_{name}_wall_s": mode["wall_ms"] / 1000.0
+            for name, mode in sorted(modes.items())
+        }
+    return {}
 
 
 def is_ratio_metric(name: str) -> bool:

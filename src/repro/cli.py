@@ -242,6 +242,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from benchmarks.regression_check import (
         apply_aliases,
         extract_metrics,
+        extract_wall_seconds,
         is_ratio_metric,
     )
 
@@ -249,6 +250,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     bench = candidate.get("bench")
     mode = candidate.get("mode", "full") if bench == "BENCH_3" else "full"
     candidate_metrics = apply_aliases(extract_metrics(candidate, mode))
+    candidate_walls = extract_wall_seconds(candidate)
 
     baseline_path = (
         Path(args.baseline) if args.baseline else root / f"{bench}.json"
@@ -262,9 +264,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for name, value in sorted(candidate_metrics.items()):
             kind = "ratio" if is_ratio_metric(name) else "absolute"
             print(f"| {name} | {value:,.3f} | {kind} (no baseline) |")
+        for name, value in sorted(candidate_walls.items()):
+            print(f"| {name} | {value:,.3f} | wall seconds (no baseline) |")
         return 0
     baseline = json.loads(baseline_path.read_text())
     baseline_metrics = apply_aliases(extract_metrics(baseline, mode))
+    baseline_walls = extract_wall_seconds(baseline)
 
     print(f"Baseline: `{baseline_path.name}` "
           f"({baseline.get('mode', 'full')} mode)\n")
@@ -284,9 +289,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(
             f"| {name} | {cand:,.3f} | {base:,.3f} | {delta:+.1%} | {kind} |"
         )
+    # Absolute wall clocks next to the ratios: what the speedups are
+    # made of, never gated (host-dependent).
+    for name in sorted(set(candidate_walls) | set(baseline_walls)):
+        cand = candidate_walls.get(name)
+        base = baseline_walls.get(name)
+        if cand is None:
+            print(f"| {name} | — | {base:,.3f} s | missing | wall seconds |")
+            continue
+        if base is None:
+            print(f"| {name} | {cand:,.3f} s | — | new | wall seconds |")
+            continue
+        delta = (cand - base) / base if base else float("nan")
+        print(
+            f"| {name} | {cand:,.3f} s | {base:,.3f} s | {delta:+.1%} "
+            f"| wall seconds |"
+        )
     print(
         "\nRatio metrics are same-host relative and gate the CI check; "
-        "absolute throughputs are informational across hosts."
+        "absolute throughputs and wall seconds are informational across "
+        "hosts."
     )
     return 0
 

@@ -10,6 +10,7 @@ bandwidth").
 from __future__ import annotations
 
 import itertools
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -23,7 +24,23 @@ from repro.simkernel.simulator import Simulator
 from repro.streaming.broker import BrokerUnavailable
 from repro.streaming.consumer import Consumer
 from repro.streaming.producer import Producer, RetryPolicy
-from repro.streaming.serde import JsonSerde, RawSerde, Serde
+from repro.streaming.serde import (
+    JsonSerde,
+    RawSerde,
+    Serde,
+    STRUCT_MAGIC,
+    STRUCT_VERSION,
+)
+
+#: Batched-dataplane template patch: the telemetry struct layout ends in
+#: ``generated_at f64 | arrived_at f64``, so a pre-serialized frame is
+#: finalized by packing both timestamps over its last 16 bytes.
+_TS_PATCH = struct.Struct("<dd")
+
+#: Marker for a stripe record whose wire template has not been built yet
+#: (templates are serialized on first send, not eagerly for the whole
+#: stripe — replay touches only a fraction of a large stripe).
+_UNBUILT = object()
 
 
 @dataclass
@@ -89,6 +106,17 @@ class VehicleNode:
         produce: buffered retries with backoff plus idempotent
         sequence numbers.  ``None`` (default, the seed behaviour)
         drops telemetry refused by a down broker.
+    dataplane:
+        ``"event"`` (default): one simulator event per DSRC transmit,
+        delivery, and 10 ms warning poll.  ``"batched"``: telemetry
+        frames are deferred onto the channel's batch queue (contention
+        resolves at the RSU's pre-poll flush, RNG draw order
+        preserved), HTB is charged lazily, and the warning-poll grid is
+        virtual — only grid instants where a poll would actually find
+        OUT-DATA records are materialized as events.  Results are
+        bit-identical; the batched mode requires ``"poll"``
+        dissemination and a single-process fault-free run
+        (:class:`~repro.core.scenario.ScenarioSpec` enforces this).
     """
 
     #: Perf-baseline switch (class level, snapshotted at construction):
@@ -115,6 +143,7 @@ class VehicleNode:
         serdes: Optional[Dict[str, Serde]] = None,
         dissemination: str = "poll",
         retry: Optional[RetryPolicy] = None,
+        dataplane: str = "event",
     ) -> None:
         if update_rate_hz <= 0:
             raise ValueError("update rate must be positive")
@@ -122,8 +151,17 @@ class VehicleNode:
             raise ValueError("poll interval must be positive")
         if dissemination not in ("poll", "notify"):
             raise ValueError(f"unknown dissemination mode: {dissemination!r}")
+        if dataplane not in ("event", "batched"):
+            raise ValueError(f"unknown dataplane mode: {dataplane!r}")
+        if dataplane == "batched" and dissemination != "poll":
+            raise ValueError(
+                "the batched dataplane virtualizes the poll grid; "
+                "it requires 'poll' dissemination"
+            )
         self.sim = sim
         self.car_id = car_id
+        self.dataplane = dataplane
+        self._batched = dataplane == "batched"
         self._legacy_tick = bool(self.legacy_tick)
         self._payloads: List[dict] = []
         self._payload_cycle = iter(())
@@ -141,6 +179,12 @@ class VehicleNode:
         #: Serde for the telemetry envelopes this vehicle produces.
         self.serde = self._serdes.get(IN_DATA, default)
         self._out_serde = self._serdes.get(OUT_DATA, default)
+        #: Cached wire dtype of OUT-DATA (struct profile only): lets the
+        #: batched poll scan a warning slab with one numpy compare
+        #: instead of decoding record by record.
+        self._warning_dtype = (
+            getattr(self._out_serde, "dtype", None) if self._batched else None
+        )
         self.dissemination = dissemination
         # Telemetry goes through a Producer so the delivery guarantees
         # (bounded retry buffer, idempotent sequences) apply.  The
@@ -163,6 +207,13 @@ class VehicleNode:
         self._cancel_notify = None
         self._wakeup_pending = False
         self._started = False
+        # Batched dataplane state: precomputed produce-side constants
+        # and the virtual warning-poll grid.
+        self._leaf_name = f"vehicle-{car_id}"
+        self._key_bytes = str(car_id).encode()
+        self._next_poll = 0.0
+        self._poll_until: Optional[float] = None
+        self._poll_scheduled = False
         # Frames handed to the DSRC channel whose delivery event has
         # not fired yet, and telemetry still waiting out an HTB delay —
         # keyed by a monotonic token so a cross-shard handover can ship
@@ -191,12 +242,22 @@ class VehicleNode:
         if self._cancel_notify is not None:
             self._cancel_notify()
             self._cancel_notify = None
-        if self.dissemination == "notify" and self._started:
-            self._subscribe_notify()
+        if self._started:
+            if self.dissemination == "notify":
+                self._subscribe_notify()
+            elif self._batched:
+                self._subscribe_wakeup()
 
     def _subscribe_notify(self) -> None:
         self._cancel_notify = self.rsu.broker.subscribe_notify(
             OUT_DATA, self._on_out_data_produced
+        )
+
+    def _subscribe_wakeup(self) -> None:
+        """Batched dataplane: watch OUT-DATA to materialize poll-grid
+        instants (the virtual analogue of the 10 ms poll recurrence)."""
+        self._cancel_notify = self.rsu.broker.subscribe_notify(
+            OUT_DATA, self._on_warning_appended
         )
 
     def _on_out_data_produced(self, metadata) -> None:
@@ -223,7 +284,7 @@ class VehicleNode:
         phase = float(self._rng.uniform(0.0, self.update_period_s))
         self._cancel_produce = self.sim.every_group(
             self.update_period_s,
-            self._send_telemetry,
+            self._send_telemetry_batched if self._batched else self._send_telemetry,
             start=self.sim.now + phase,
             until=until,
             label=f"vehicle-{self.car_id}-produce",
@@ -231,10 +292,22 @@ class VehicleNode:
         if self.dissemination == "notify":
             self._subscribe_notify()
             return
+        poll_phase = float(self._rng.uniform(0.0, self.poll_interval_s))
+        if self._batched:
+            # Virtual polling: keep the exact poll grid the recurrence
+            # would have walked (same phase draw, same float-accumulated
+            # instants) but only materialize grid instants at which a
+            # poll would find records — a produce notification schedules
+            # the next one.  Empty polls, the vast majority of the 100
+            # polls/vehicle/second, never become events.
+            self._next_poll = self.sim.now + poll_phase
+            self._poll_until = until
+            self._subscribe_wakeup()
+            return
         self._cancel_poll = self.sim.every_group(
             self.poll_interval_s,
             self._poll_warnings,
-            start=self.sim.now + float(self._rng.uniform(0.0, self.poll_interval_s)),
+            start=self.sim.now + poll_phase,
             until=until,
             label=f"vehicle-{self.car_id}-poll",
         )
@@ -266,11 +339,24 @@ class VehicleNode:
         onto a different road where the old records are stale (the new
         RSU has no model for them).
         """
+        carried: List[Tuple] = []
+        if self._batched and new_channel is not self.channel:
+            # Resolve everything due on the old medium while the old
+            # producer is still bound — those deliveries belong to the
+            # old broker, exactly as their per-frame events (all at or
+            # before this instant) would have.  Frames still deferred
+            # (shaper-delayed past now) move to the new channel: their
+            # transmit events would have read ``self.channel`` at fire
+            # time and contended on the new medium.
+            self.channel.flush(self.sim.now)
+            carried = self.channel.take_pending(self)
         self._record_departure()
         self.rsu = new_rsu
         self.channel = new_channel
         self._producer.rebind(new_rsu.broker, drop_pending=drop_pending)
         self._attach_consumer()
+        for eff_time, _seq, size, deliver, _owner in carried:
+            new_channel.enqueue(eff_time, size, deliver, owner=self)
 
     def _record_departure(self) -> None:
         """Snapshot the OUT-DATA read state on the broker being left.
@@ -330,6 +416,12 @@ class VehicleNode:
         self._payload_cycle = itertools.cycle(payloads)
         # Only consumed on the legacy (perf-baseline) tick path.
         self._record_cycle = itertools.cycle(records)
+        # Batched-dataplane wire templates, parallel to the payloads;
+        # each is serialized on the first send of its record (the serde
+        # is assigned after this runs, and replay may touch only a
+        # fraction of a large stripe).
+        self._payload_index = 0
+        self._templates: List[object] = [_UNBUILT] * len(payloads)
 
     # ------------------------------------------------------------------
     # Cross-process handover (sharded engine)
@@ -353,6 +445,11 @@ class VehicleNode:
         """
         if self._detached:
             raise RuntimeError(f"vehicle {self.car_id} already detached")
+        if self._batched:
+            raise RuntimeError(
+                "the batched dataplane does not support cross-shard "
+                "handover (frames may be deferred on the channel)"
+            )
         produce_next = (
             self._cancel_produce.next_time
             if self._cancel_produce is not None
@@ -453,6 +550,138 @@ class VehicleNode:
         self.stats.records_sent += 1
         self.stats.bytes_sent += size
 
+    def _build_template(self, index: int):
+        """Serialize one stripe record's wire template on first use.
+
+        When the payload serializes to a fixed-size struct frame, the
+        per-send wire bytes differ from this template only in the two
+        trailing timestamps — so each send just patches
+        ``generated_at``/``arrived_at`` over a template copy instead of
+        serializing the envelope twice (once for the airtime-gating
+        size, once at delivery).  A JSON-fallback payload caches
+        ``None``; its sends serialize exactly like the event dataplane.
+        """
+        serde = self.serde
+        wire_size = getattr(serde, "wire_size", None)
+        template = None
+        if wire_size is not None:
+            frame = serde.serialize(
+                {
+                    "data": self._payloads[index],
+                    "generated_at": 0.0,
+                    "arrived_at": None,
+                }
+            )
+            if len(frame) == wire_size and frame[0] == STRUCT_MAGIC:
+                template = frame
+        self._templates[index] = template
+        return template
+
+    def _send_telemetry_batched(self) -> None:
+        """Batched-dataplane send: defer shaping and contention.
+
+        Observably identical to :meth:`_send_telemetry` +
+        :meth:`_transmit`, restructured for the deferred channel:
+
+        - HTB is charged through
+          :meth:`~repro.net.htb.HtbShaper.send_deferred` (bit-identical
+          delays; the shared root bucket accrues lazily).
+        - Instead of transmitting, the frame joins the channel's batch
+          queue at its effective time; contention resolves at the next
+          flush with the per-frame RNG draw order preserved.
+        - Delivery serializes from the record's pre-built template when
+          it struct-encodes (timestamps patched in place), else through
+          the serde exactly as the event path would.
+        """
+        payloads = self._payloads
+        if not payloads:
+            next(iter(()))  # StopIteration, as cycle() on an empty stripe
+        index = self._payload_index
+        self._payload_index = index + 1 if index + 1 < len(payloads) else 0
+        template = self._templates[index]
+        if template is _UNBUILT:
+            template = self._build_template(index)
+        now = self.sim.now
+        if template is not None:
+            size = len(template)
+
+            def deliver(
+                at_time: float, template=template, generated_at=now
+            ) -> None:
+                frame = bytearray(template)
+                _TS_PATCH.pack_into(frame, size - 16, generated_at, at_time)
+                try:
+                    self._producer.send(
+                        IN_DATA,
+                        bytes(frame),
+                        key=self._key_bytes,
+                        timestamp=at_time,
+                    )
+                except BrokerUnavailable:
+                    self.stats.records_lost += 1
+
+        else:
+            data = payloads[index]
+            size = len(
+                self.serde.serialize(
+                    {"data": data, "generated_at": now, "arrived_at": None}
+                )
+            )
+
+            def deliver(at_time: float, data=data, generated_at=now) -> None:
+                envelope = {
+                    "data": data,
+                    "generated_at": generated_at,
+                    "arrived_at": at_time,
+                }
+                try:
+                    self._producer.send(
+                        IN_DATA,
+                        self.serde.serialize(envelope),
+                        key=self._key_bytes,
+                        timestamp=at_time,
+                    )
+                except BrokerUnavailable:
+                    self.stats.records_lost += 1
+
+        delay = 0.0
+        if self.shaper is not None:
+            delay = self.shaper.send_deferred(self._leaf_name, size, now)
+        self.channel.enqueue(now + delay, size, deliver, owner=self)
+        self.stats.records_sent += 1
+        self.stats.bytes_sent += size
+
+    def _on_warning_appended(self, metadata) -> None:
+        """A warning hit OUT-DATA: materialize the next poll instant.
+
+        The virtual grid advances by repeated interval addition from
+        the drawn phase — the same float accumulation the real 10 ms
+        recurrence performs — so the materialized poll fires at exactly
+        the instant the event-mode poll would have consumed this
+        warning.  Grid instants at or past the loop's ``until`` never
+        fire, matching the recurrence's drop rule.
+        """
+        if self._poll_scheduled:
+            return
+        target = self._next_poll
+        now = self.sim.now
+        interval = self.poll_interval_s
+        while target < now:
+            target += interval
+        self._next_poll = target
+        until = self._poll_until
+        if until is not None and target >= until:
+            return
+        self._poll_scheduled = True
+        self.sim.at(
+            target, self._virtual_poll, label=f"vehicle-{self.car_id}-poll"
+        )
+
+    def _virtual_poll(self) -> None:
+        self._poll_scheduled = False
+        self._next_poll += self.poll_interval_s
+        self._poll_warnings()
+
     def _transmit(
         self, envelope: dict, size: int, pending_token: Optional[int] = None
     ) -> None:
@@ -492,6 +721,9 @@ class VehicleNode:
             self._inflight[token] = (delivery, envelope)
 
     def _poll_warnings(self) -> None:
+        if self._batched and not self._legacy_tick:
+            self._poll_warnings_block()
+            return
         try:
             # Raw poll: every vehicle on a broker sees every OUT-DATA
             # warning, so decoding happens once per warning in a memo
@@ -533,6 +765,100 @@ class VehicleNode:
             self.stats.warnings_received += 1
             self.stats.dissemination_latencies_s.append(received_at - detected_at)
             self.stats.e2e_latencies_s.append(received_at - generated_at)
+
+    def _poll_warnings_block(self) -> None:
+        """Batched-dataplane poll: scan OUT-DATA as block segments.
+
+        Consumes through :meth:`~repro.streaming.consumer.Consumer.poll_block`
+        — same partition order, position advances, and byte accounting
+        as ``poll(deserialize=False)`` — and filters for this car's
+        warnings without per-record objects: a uniform struct segment is
+        one ``np.frombuffer`` over the broker's slab plus one column
+        compare (every vehicle on the RSU sees every warning, so most
+        records are other cars').  The consumer-jitter draw happens only
+        for own warnings, in record order — the event path's exact RNG
+        sequence.  Mixed/JSON segments fall back to the decode loop with
+        the broker-shared memo.
+        """
+        try:
+            segments = self._consumer.poll_block()
+        except BrokerUnavailable:
+            self.stats.poll_failures += 1
+            return
+        if not segments:
+            return
+        dtype = self._warning_dtype
+        car_id = self.car_id
+        stats = self.stats
+        now = self.sim.now
+        processing = self.consumer_processing_s
+        jitter_s = self.consumer_jitter_s
+        uniform = self._rng.uniform
+        broker = self.rsu.broker
+        for segment in segments:
+            if (
+                dtype is not None
+                and segment.is_uniform
+                and segment.record_size == dtype.itemsize
+            ):
+                # Every vehicle on the RSU fetches the same emission
+                # batch (same offsets), so the column extraction runs
+                # once per batch in a broker-shared memo, not once per
+                # vehicle per batch.
+                scan_cache = broker.__dict__.get("_warning_scan_cache")
+                if scan_cache is None:
+                    scan_cache = broker._warning_scan_cache = {}
+                key = (
+                    segment.topic,
+                    segment.partition,
+                    segment.next_offset,
+                    segment.count,
+                )
+                entry = scan_cache.get(key)
+                if entry is None:
+                    rows = np.frombuffer(segment.data, dtype=dtype)
+                    if rows.size and (rows["version"] == STRUCT_VERSION).all():
+                        entry = (
+                            rows["car"].tolist(),
+                            rows["t"].tolist(),
+                            rows["generated_at"].tolist(),
+                        )
+                        scan_cache[key] = entry
+                if entry is not None:
+                    cars, ts, gens = entry
+                    for i, car in enumerate(cars):
+                        if car != car_id:
+                            continue
+                        jitter = float(uniform(-jitter_s, jitter_s))
+                        handling = max(0.0, processing + jitter)
+                        received_at = now + handling
+                        stats.warnings_received += 1
+                        stats.dissemination_latencies_s.append(
+                            received_at - ts[i]
+                        )
+                        stats.e2e_latencies_s.append(received_at - gens[i])
+                    continue
+            cache = broker.__dict__.get("_warning_decode_cache")
+            if cache is None:
+                cache = broker._warning_decode_cache = {}
+            serde = self._out_serde
+            for raw in segment.value_list():
+                value = cache.get(raw)
+                if value is None:
+                    value = serde.deserialize(raw)
+                    cache[raw] = value
+                if int(value.get("car", -1)) != car_id:
+                    continue
+                jitter = float(uniform(-jitter_s, jitter_s))
+                handling = max(0.0, processing + jitter)
+                received_at = now + handling
+                stats.warnings_received += 1
+                stats.dissemination_latencies_s.append(
+                    received_at - float(value["t"])
+                )
+                stats.e2e_latencies_s.append(
+                    received_at - float(value["generated_at"])
+                )
 
     def __repr__(self) -> str:
         return (

@@ -87,3 +87,53 @@ class Batch:
 
     def __repr__(self) -> str:
         return f"Batch(n={len(self._items)}, t={self.batch_time:.3f})"
+
+
+class BlockBatch:
+    """A micro-batch of contiguous wire-byte segments (the block path).
+
+    Where :class:`Batch` holds one Python object per record, a
+    BlockBatch holds the :class:`~repro.streaming.records.BlockSegment`
+    slabs a :meth:`Consumer.poll_block` returned — per-record objects
+    are never materialized between the broker log and the vectorized
+    sink (the columnar RSU decodes the segments with one
+    ``np.frombuffer`` each).  Only the introspection subset of the
+    Batch API is provided; block-mode sinks own the decode.
+
+    Segments borrow append-only slab storage, so a BlockBatch stays
+    readable while it waits in the processing queue even as the
+    partition keeps appending.
+    """
+
+    __slots__ = ("segments", "batch_time", "_count")
+
+    def __init__(self, segments, batch_time: float = 0.0) -> None:
+        self.segments = list(segments)
+        self.batch_time = batch_time
+        self._count = sum(segment.count for segment in self.segments)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def count(self) -> int:
+        return self._count
+
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    def collect(self) -> List[Any]:
+        """Materialize the per-record value bytes, in segment order
+        (the record order the per-record poll would have returned)."""
+        values: List[Any] = []
+        for segment in self.segments:
+            values.extend(segment.value_list())
+        return values
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockBatch(n={self._count}, segments={len(self.segments)}, "
+            f"t={self.batch_time:.3f})"
+        )

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.microbatch.batch import Batch
+from repro.microbatch.batch import Batch, BlockBatch
 from repro.microbatch.dstream import DStream
 from repro.obs import metrics as obs_metrics
 from repro.simkernel.simulator import Simulator
@@ -84,9 +84,21 @@ class StreamingContext:
         bytes, and the sink is expected to batch-decode them (the
         columnar RSU path does, via
         :func:`repro.core.wire.decode_telemetry_block`).
+    block:
+        Poll via :meth:`Consumer.poll_block`: batches are
+        :class:`~repro.microbatch.batch.BlockBatch` wire slabs instead
+        of per-record lists, and sinks must understand them (the
+        block-mode RSU does).  Implies raw semantics.
     name:
         Label for this context's metrics (the owning RSU's name);
         contexts without a name report under ``rsu=""``.
+
+    The ``pre_poll`` attribute, when set, is a zero-argument callable
+    invoked at the top of every tick, before the lag observation and
+    the poll.  The batched dataplane hooks the RSU's deferred DSRC
+    channel flush here: frames whose contention resolves at or before
+    the tick instant are appended to the broker exactly where the
+    per-frame delivery events would have put them.
     """
 
     def __init__(
@@ -97,6 +109,7 @@ class StreamingContext:
         processing_model: Optional[ProcessingModel] = None,
         jitter_source: Optional[Callable[[], float]] = None,
         raw: bool = False,
+        block: bool = False,
         name: Optional[str] = None,
     ) -> None:
         if interval_s <= 0:
@@ -107,9 +120,11 @@ class StreamingContext:
         self.processing_model = processing_model or ProcessingModel()
         self.jitter_source = jitter_source
         self.raw = raw
+        self.block = block
         self.name = name or ""
         self.stream = DStream()
         self.metrics: List[BatchMetrics] = []
+        self.pre_poll: Optional[Callable[[], None]] = None
         self._stop: Optional[Callable[[], None]] = None
         self._busy_until = 0.0
 
@@ -136,6 +151,11 @@ class StreamingContext:
     # ------------------------------------------------------------------
     def _tick(self) -> None:
         batch_time = self.sim.now
+        if self.pre_poll is not None:
+            # Deferred-dataplane flush: contended frames due at or
+            # before this instant land on the broker first, exactly as
+            # their per-frame delivery events would have.
+            self.pre_poll()
         registry = obs_metrics.active()
         if registry is not None:
             # Consumer lag *before* the poll = IN-DATA queue depth as
@@ -145,8 +165,19 @@ class StreamingContext:
                 obs_metrics.DEPTH_EDGES,
                 rsu=self.name,
             ).observe(self.consumer.lag())
-        records = self.consumer.poll(deserialize=not self.raw)
-        batch = Batch([r.value for r in records], batch_time=batch_time)
+        if self.block:
+            segments = self.consumer.poll_block()
+            batch = BlockBatch(segments, batch_time=batch_time)
+            if registry is not None and segments:
+                registry.counter(
+                    "dataplane.block_segments", rsu=self.name
+                ).inc(len(segments))
+                registry.counter(
+                    "dataplane.block_records", rsu=self.name
+                ).inc(len(batch))
+        else:
+            records = self.consumer.poll(deserialize=not self.raw)
+            batch = Batch([r.value for r in records], batch_time=batch_time)
         jitter = self.jitter_source() if self.jitter_source else 0.0
         duration = self.processing_model.duration(len(batch), jitter)
         # Batches queue behind an in-flight batch (single processing

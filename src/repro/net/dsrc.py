@@ -27,7 +27,8 @@ The paper's MCS naming follows its ref. [24] (Bazzi et al.) and is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from operator import itemgetter
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -190,6 +191,11 @@ class DsrcChannel:
         self.bytes_transmitted = 0
         self.frames_lost = 0
         self.total_airtime_s = 0.0
+        # Deferred (batched-dataplane) frames awaiting the next flush:
+        # (effective_time, seq, payload_bytes, on_delivered, owner).
+        self._pending: List[Tuple] = []
+        self._pending_seq = 0
+        self._airtime_cache: Dict[int, float] = {}
 
     def transmit(
         self,
@@ -224,6 +230,122 @@ class DsrcChannel:
             return None
         self.sim.at(delivery, lambda t=delivery: on_delivered(t), label="dsrc-delivery")
         return delivery
+
+    # ------------------------------------------------------------------
+    # Batched dataplane: deferred contention
+    # ------------------------------------------------------------------
+    @property
+    def pending_frames(self) -> int:
+        """Deferred frames whose contention has not been resolved yet."""
+        return len(self._pending)
+
+    def enqueue(
+        self,
+        eff_time: float,
+        payload_bytes: int,
+        on_delivered: Callable[[float], None],
+        owner: object = None,
+    ) -> None:
+        """Defer one frame to the next :meth:`flush`.
+
+        ``eff_time`` is the instant the frame reaches the medium — the
+        send instant plus any shaper delay, i.e. the time a per-frame
+        :meth:`transmit` call would have run.  ``owner`` tags the frame
+        so a handover can move a sender's not-yet-effective frames to
+        its new channel (:meth:`take_pending`).
+        """
+        self._pending.append(
+            (eff_time, self._pending_seq, payload_bytes, on_delivered, owner)
+        )
+        self._pending_seq += 1
+
+    def take_pending(self, owner: object) -> List[Tuple]:
+        """Remove and return ``owner``'s deferred frames (handover)."""
+        taken = [frame for frame in self._pending if frame[4] is owner]
+        if taken:
+            self._pending = [
+                frame for frame in self._pending if frame[4] is not owner
+            ]
+        return taken
+
+    def flush(self, now: float) -> int:
+        """Resolve contention for every deferred frame effective by ``now``.
+
+        One pass replaces per-frame :meth:`transmit` calls and their
+        delivery events, bit-identically:
+
+        - Frames are processed in ``(eff_time, seq)`` order — exactly
+          the order their transmit events would have fired (the kernel
+          dispatches by time, scheduling order breaking ties), so the
+          backoff/collision/loss RNG draw sequence is unchanged.  With
+          no shaper delays the queue is already in that order and the
+          sort is a linear scan.
+        - Per frame the draw sequence, float-op order, busy-medium
+          serialization, and stats updates replicate :meth:`transmit`
+          verbatim; airtimes are memoized per payload size (the
+          computation is a pure function of it).
+        - A frame delivered by ``now`` invokes ``on_delivered`` inline,
+          in delivery order, with the same stamp its event would have
+          carried; a frame still on the air gets a real delivery event.
+        - Frames whose ``eff_time`` is still in the future (shaper
+          delays) are carried to the next flush.  Nothing enqueued later
+          can precede them — a future send happens after ``now`` — so
+          carrying preserves the draw order exactly.
+
+        Returns the number of frames resolved.
+        """
+        pending = self._pending
+        if not pending:
+            return 0
+        pending.sort(key=itemgetter(0, 1))
+        self._pending = []
+        mac = self.mac
+        rng = self._rng
+        collision_prob = mac.collision_prob
+        cw_max = mac.cw_max
+        t_slot = mac.t_slot_s
+        difs = mac.difs_s
+        loss_prob = self.loss_prob
+        airtimes = self._airtime_cache
+        sim_at = self.sim.at
+        busy = self._busy_until
+        resolved = 0
+        for eff_time, _seq, payload_bytes, on_delivered, _owner in pending:
+            if eff_time > now:
+                break
+            resolved += 1
+            if rng.random() < collision_prob:
+                cw = cw_max
+            else:
+                cw = 15
+            backoff = float(rng.integers(0, cw + 1)) * t_slot
+            airtime = airtimes.get(payload_bytes)
+            if airtime is None:
+                airtime = airtimes[payload_bytes] = mac.airtime_s(
+                    self.mcs, payload_bytes
+                )
+            start = max(eff_time, busy) + difs + backoff
+            delivery = start + airtime
+            busy = self._busy_until = delivery
+            self.transmissions += 1
+            self.bytes_transmitted += payload_bytes
+            self.total_airtime_s += airtime
+            if loss_prob > 0.0 and rng.random() < loss_prob:
+                self.frames_lost += 1
+                continue
+            if delivery <= now:
+                on_delivered(delivery)
+            else:
+                sim_at(
+                    delivery,
+                    lambda t=delivery, cb=on_delivered: cb(t),
+                    label="dsrc-delivery",
+                )
+        if resolved < len(pending):
+            # Carried frames go back in front of anything a delivery
+            # callback might have enqueued meanwhile.
+            self._pending = pending[resolved:] + self._pending
+        return resolved
 
     def utilization(self, elapsed_s: float) -> float:
         """Fraction of ``elapsed_s`` the medium spent transmitting."""

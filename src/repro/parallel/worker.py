@@ -192,8 +192,21 @@ class _ShardWorker:
 
     def _step(self, barrier: float, n_frames: int, final: bool) -> None:
         start = time.process_time()
-        frames = [self.ctx.inbox.pop() for _ in range(n_frames)]
-        self._apply(frames)
+        # Borrowed zero-copy views: the engine pushes a window's frames
+        # strictly before our "step" message and not again until after
+        # our "done" reply, so the views stay intact through _apply —
+        # which decodes each body into owned storage before returning.
+        frames = self.ctx.inbox.drain_views()
+        if len(frames) != n_frames:
+            raise RuntimeError(
+                f"shard {self.ctx.shard_index}: expected {n_frames} inbox "
+                f"frames at barrier {barrier}, drained {len(frames)}"
+            )
+        try:
+            self._apply(frames)
+        finally:
+            for _, view in frames:
+                view.release()
         if final:
             self.sim.run_until(barrier)
         else:
@@ -209,7 +222,7 @@ class _ShardWorker:
     # ------------------------------------------------------------------
     # Inbound frames
     # ------------------------------------------------------------------
-    def _apply(self, frames: List[Tuple[int, bytes]]) -> None:
+    def _apply(self, frames: List[Tuple[int, memoryview]]) -> None:
         """Inject one barrier's cross-shard frames, deterministically.
 
         The clock sits exactly at the previous barrier (a handover

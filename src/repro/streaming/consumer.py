@@ -13,7 +13,7 @@ import itertools
 from typing import Dict, List, Optional, Tuple
 
 from repro.streaming.broker import Broker
-from repro.streaming.records import ConsumerRecord
+from repro.streaming.records import BlockSegment, ConsumerRecord
 from repro.streaming.serde import JsonSerde, Serde
 
 _consumer_ids = itertools.count(1)
@@ -64,6 +64,14 @@ class Consumer:
         self._poll_order: List[Tuple[str, int]] = []
         self._balanced = False
         self._generation = -1
+        #: topic -> the topic's produce-version counter at the last
+        #: poll that came back empty with every position at the log
+        #: end.  While the versions are unchanged, a poll is answered
+        #: with one integer compare per topic instead of a
+        #: per-partition fetch.  Invalidated whenever positions move by
+        #: other means (subscribe / seek / rebalance).
+        self._idle_versions: Dict[str, int] = {}
+        self._topic_cache: Dict[str, object] = {}
         self.records_consumed = 0
         self.bytes_consumed = 0
 
@@ -86,6 +94,7 @@ class Consumer:
             if name not in self._subscriptions:
                 self._subscriptions.append(name)
             topic_partitions[name] = topic.num_partitions
+        self._idle_versions.clear()
         if balanced:
             self._balanced = True
             self._generation = self.broker.coordinator.join(
@@ -116,6 +125,7 @@ class Consumer:
             for topic, partition in assigned
         }
         self._poll_order = sorted(self._positions)
+        self._idle_versions.clear()
 
     def close(self) -> None:
         """Leave the group (balanced mode), triggering a rebalance."""
@@ -140,6 +150,7 @@ class Consumer:
             self._positions[(topic, partition)] = self.broker.end_offset(
                 topic, partition
             )
+        self._idle_versions.clear()
 
     def seek(self, topic: str, partition: int, offset: int) -> None:
         if (topic, partition) not in self._positions:
@@ -150,11 +161,39 @@ class Consumer:
         if offset < 0:
             raise ValueError(f"offset must be non-negative: {offset}")
         self._positions[(topic, partition)] = offset
+        self._idle_versions.clear()
 
     def position(self, topic: str, partition: int) -> int:
         return self._positions[(topic, partition)]
 
     # ------------------------------------------------------------------
+    def _topic(self, name: str):
+        topic = self._topic_cache.get(name)
+        if topic is None:
+            topic = self.broker.topic(name)
+            self._topic_cache[name] = topic
+        return topic
+
+    def _still_idle(self) -> bool:
+        """True when no subscribed topic produced since the last empty
+        poll — the poll can return [] without touching any partition.
+
+        Only valid while the broker is up (a down broker must raise
+        from fetch, as the per-partition loop would).
+        """
+        idle = self._idle_versions
+        if len(idle) != len(self._subscriptions):
+            return False
+        for name in self._subscriptions:
+            version = idle.get(name)
+            if version is None or version != self._topic(name).version:
+                return False
+        return True
+
+    def _mark_idle(self) -> None:
+        for name in self._subscriptions:
+            self._idle_versions[name] = self._topic(name).version
+
     def poll(
         self, max_records: int = 500, deserialize: bool = True
     ) -> List[ConsumerRecord]:
@@ -175,6 +214,12 @@ class Consumer:
             if generation != self._generation:
                 self._generation = generation
                 self._refresh_assignment()
+        if (
+            not self._legacy_poll
+            and self.broker.available
+            and self._still_idle()
+        ):
+            return []
         out: List[ConsumerRecord] = []
         budget = max_records
         serde = self.serde
@@ -215,8 +260,57 @@ class Consumer:
             budget -= len(stored)
             if self.group is not None and self.auto_commit:
                 self.broker.commit(self.group, topic, partition, new_position)
-        self.records_consumed += len(out)
+        if out:
+            self.records_consumed += len(out)
+        elif not self._legacy_poll:
+            self._mark_idle()
         return out
+
+    def poll_block(self, max_records: int = 500) -> List[BlockSegment]:
+        """Block variant of :meth:`poll`: contiguous wire-byte slabs.
+
+        Visits partitions in the same order, advances the same
+        positions, commits the same offsets, and accounts the same
+        bytes as ``poll(deserialize=False)`` — but hands back one
+        :class:`BlockSegment` per non-empty partition instead of
+        per-record objects, zero-copy off the broker's columnar slabs
+        whenever the log is uniformly struct-encoded.
+        """
+        if not self._subscriptions:
+            return []
+        if self._balanced:
+            generation = self.broker.coordinator.generation(self.group)
+            if generation != self._generation:
+                self._generation = generation
+                self._refresh_assignment()
+        if self.broker.available and self._still_idle():
+            return []
+        segments: List[BlockSegment] = []
+        budget = max_records
+        positions = self._positions
+        fetch_block = self.broker.fetch_block
+        total = 0
+        for key in self._poll_order:
+            if budget <= 0:
+                break
+            topic, partition = key
+            segment = fetch_block(topic, partition, positions[key], budget)
+            if segment is None:
+                continue
+            segments.append(segment)
+            self.bytes_consumed += segment.nbytes
+            positions[key] = segment.next_offset
+            budget -= segment.count
+            total += segment.count
+            if self.group is not None and self.auto_commit:
+                self.broker.commit(
+                    self.group, topic, partition, segment.next_offset
+                )
+        if total:
+            self.records_consumed += total
+        else:
+            self._mark_idle()
+        return segments
 
     def commit(self) -> None:
         """Explicitly commit current positions (manual-commit mode)."""

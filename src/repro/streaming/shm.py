@@ -98,22 +98,52 @@ class ShmRing:
         return self.capacity - len(self)
 
     # ------------------------------------------------------------------
-    def _write_at(self, cursor: int, data: bytes) -> None:
+    def _write_at(self, cursor: int, data) -> None:
         position = cursor % self.capacity
-        first = min(len(data), self.capacity - position)
+        length = len(data)
+        first = min(length, self.capacity - position)
         offset = _HEADER_BYTES + position
-        self._shm.buf[offset : offset + first] = data[:first]
-        if first < len(data):
-            rest = data[first:]
-            self._shm.buf[_HEADER_BYTES : _HEADER_BYTES + len(rest)] = rest
+        if first == length:
+            # Non-wrapping fast path: one buffer-to-buffer copy, no
+            # intermediate ``data[:first]`` slice object.
+            self._shm.buf[offset : offset + length] = data
+            return
+        view = memoryview(data)
+        self._shm.buf[offset : offset + first] = view[:first]
+        rest = length - first
+        self._shm.buf[_HEADER_BYTES : _HEADER_BYTES + rest] = view[first:]
 
-    def _read_at(self, cursor: int, length: int) -> bytes:
+    def view_at(self, cursor: int, length: int) -> memoryview:
+        """A readable view of ``length`` bytes at absolute ``cursor``.
+
+        On the non-wrapping fast path this is a zero-copy ``memoryview``
+        straight into the shared segment — ``np.frombuffer`` decodes
+        block payloads off it without an intermediate ``bytes`` copy.
+        A range that wraps the physical end is reassembled into a fresh
+        contiguous buffer (one copy, unavoidable for a contiguous view).
+
+        Views into the segment are *borrowed*: they alias ring storage
+        that the producer may overwrite once the read cursor has moved
+        past it, and live views block :meth:`close`.  Decode or copy
+        promptly; call ``release()`` (or drop the reference) before the
+        next overwriting push.
+        """
         position = cursor % self.capacity
         first = min(length, self.capacity - position)
         offset = _HEADER_BYTES + position
-        data = bytes(self._shm.buf[offset : offset + first])
-        if first < length:
-            data += bytes(self._shm.buf[_HEADER_BYTES : _HEADER_BYTES + length - first])
+        if first == length:
+            return self._shm.buf[offset : offset + length]
+        joined = bytearray(length)
+        joined[:first] = self._shm.buf[offset : offset + first]
+        joined[first:] = self._shm.buf[
+            _HEADER_BYTES : _HEADER_BYTES + length - first
+        ]
+        return memoryview(joined)
+
+    def _read_at(self, cursor: int, length: int) -> bytes:
+        view = self.view_at(cursor, length)
+        data = bytes(view)
+        view.release()
         return data
 
     def push(self, kind: int, payload: bytes) -> None:
@@ -132,21 +162,52 @@ class ShmRing:
     def pop(self) -> Optional[Tuple[int, bytes]]:
         """Remove and return the oldest ``(kind, payload)`` frame, or
         ``None`` if the ring is empty."""
+        frame = self.pop_view()
+        if frame is None:
+            return None
+        kind, view = frame
+        payload = bytes(view)
+        view.release()
+        return kind, payload
+
+    def pop_view(self) -> Optional[Tuple[int, memoryview]]:
+        """Remove the oldest frame, returning ``(kind, view)`` zero-copy.
+
+        The view is borrowed ring storage (see :meth:`view_at`): it is
+        guaranteed intact only until the producer pushes again, because
+        popping frees the bytes for reuse.  The sharded engine's barrier
+        handshake makes this safe — a worker drains and decodes its
+        inbox strictly between the engine's pushes — but any caller that
+        retains a frame across a push must copy it first.
+        """
         tail = self._tail
         if self._head == tail:
             return None
-        length, kind = _FRAME_HEADER.unpack(
-            self._read_at(tail, _FRAME_HEADER.size)
-        )
-        payload = self._read_at(tail + _FRAME_HEADER.size, length)
+        header = self.view_at(tail, _FRAME_HEADER.size)
+        length, kind = _FRAME_HEADER.unpack(header)
+        header.release()
+        view = self.view_at(tail + _FRAME_HEADER.size, length)
         self._cursors[1] = np.uint64(tail + _FRAME_HEADER.size + length)
-        return kind, payload
+        return kind, view
 
     def drain(self) -> List[Tuple[int, bytes]]:
         """Pop every pending frame, oldest first."""
         frames = []
         while True:
             frame = self.pop()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def drain_views(self) -> List[Tuple[int, memoryview]]:
+        """Pop every pending frame as borrowed views, oldest first.
+
+        Bulk-frame variant of :meth:`pop_view`; the same lifetime rules
+        apply to every returned view.
+        """
+        frames = []
+        while True:
+            frame = self.pop_view()
             if frame is None:
                 return frames
             frames.append(frame)

@@ -10,9 +10,39 @@ partition, as in Kafka).
 from __future__ import annotations
 
 import zlib
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.streaming.records import StoredRecord
+from repro.streaming.serde import STRUCT_MAGIC
+
+
+class _Slab:
+    """Append-only byte arena backing a partition's block reads.
+
+    Grows by doubling into a fresh buffer; the old buffer is never
+    mutated afterwards, so borrowed ``memoryview`` windows handed out
+    before a resize keep reading the correct (append-only) bytes — no
+    ``BufferError`` on growth, unlike exporting views of a plain
+    ``bytearray`` that must later ``extend``.
+    """
+
+    __slots__ = ("_buf", "_len")
+
+    def __init__(self, initial: int = 4096) -> None:
+        self._buf = bytearray(initial)
+        self._len = 0
+
+    def append(self, value: bytes) -> None:
+        needed = self._len + len(value)
+        if needed > len(self._buf):
+            grown = bytearray(max(needed, 2 * len(self._buf)))
+            grown[: self._len] = memoryview(self._buf)[: self._len]
+            self._buf = grown
+        self._buf[self._len : needed] = value
+        self._len = needed
+
+    def view(self, start: int, stop: int) -> memoryview:
+        return memoryview(self._buf)[start:stop]
 
 
 class Partition:
@@ -42,6 +72,22 @@ class Partition:
         self._start_offset = 0
         self.bytes_in = 0
         self.records_truncated = 0
+        # Columnar sidecar for the zero-copy block-fetch path.  The
+        # slab mirrors every appended value while they stay uniform
+        # fixed-size struct payloads; the first non-conforming append
+        # disables it for the partition's lifetime (mixed logs fall
+        # back to per-record reads).  Retention-bounded logs never get
+        # one: truncation would have to rebase it.  ``_cum_sizes[k]``
+        # is the total consumed size (value + key bytes) of records
+        # ``[0, k)``, so any fetch range's byte accounting is two list
+        # lookups instead of a per-record sum.
+        if retention_records is None:
+            self._slab: Optional[_Slab] = _Slab()
+            self._cum_sizes: Optional[List[int]] = [0]
+        else:
+            self._slab = None
+            self._cum_sizes = None
+        self._slab_record_size: Optional[int] = None
 
     @property
     def start_offset(self) -> int:
@@ -58,6 +104,20 @@ class Partition:
         )
         self._records.append(record)
         self.bytes_in += record.size
+        if self._cum_sizes is not None:
+            self._cum_sizes.append(self._cum_sizes[-1] + record.size)
+        slab = self._slab
+        if slab is not None:
+            size = len(value)
+            if size and value[0] == STRUCT_MAGIC and (
+                self._slab_record_size is None
+                or self._slab_record_size == size
+            ):
+                if self._slab_record_size is None:
+                    self._slab_record_size = size
+                slab.append(value)
+            else:
+                self._slab = None
         if (
             self.retention_records is not None
             and len(self._records) > self.retention_records
@@ -80,6 +140,36 @@ class Partition:
             raise ValueError(f"max_records must be >= 1: {max_records}")
         index = max(0, from_offset - self._start_offset)
         return self._records[index : index + max_records]
+
+    def read_block(
+        self, from_offset: int, max_records: int
+    ) -> Optional[Tuple[memoryview, int, int, int, int]]:
+        """Zero-copy block read off the columnar slab.
+
+        Returns ``(view, record_size, count, next_offset, nbytes)`` for
+        the same record range :meth:`read` would return, where ``view``
+        is ``count * record_size`` contiguous wire bytes and ``nbytes``
+        the range's consumed size including key bytes — or ``None``
+        when the slab is unavailable (mixed payloads or retention) and
+        the caller must fall back to per-record reads.
+        """
+        if self._slab is None or self._slab_record_size is None:
+            return None
+        index = max(0, from_offset - self._start_offset)
+        count = min(max_records, len(self._records) - index)
+        if count <= 0:
+            return None
+        size = self._slab_record_size
+        view = self._slab.view(index * size, (index + count) * size)
+        nbytes = self._cum_sizes[index + count] - self._cum_sizes[index]
+        return view, size, count, self._start_offset + index + count, nbytes
+
+    def range_bytes(self, index: int, count: int) -> Optional[int]:
+        """Consumed bytes of records ``[index, index + count)``, or
+        ``None`` when the prefix sums are unavailable (retention)."""
+        if self._cum_sizes is None:
+            return None
+        return self._cum_sizes[index + count] - self._cum_sizes[index]
 
     @property
     def end_offset(self) -> int:
@@ -109,6 +199,11 @@ class Topic:
             for i in range(num_partitions)
         ]
         self._round_robin = 0
+        #: Bumped by the broker on every produce to any partition.  An
+        #: idle consumer that saw version ``v`` with all its positions
+        #: at the log end can answer its next poll with one integer
+        #: compare instead of a per-partition fetch.
+        self.version = 0
 
     @property
     def num_partitions(self) -> int:

@@ -104,6 +104,76 @@ class TestRingProperties:
             attached.close()
 
 
+class TestZeroCopyViews:
+    @given(frames=payloads_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_pop_view_round_trips_across_wrap(self, frames):
+        """push/view/pop at random sizes: cursors lap the 256-byte ring,
+        so frames land on both sides of (and across) the wrap boundary;
+        every borrowed view must read back bit-exact, in order."""
+        ring = ShmRing(capacity=256)
+        try:
+            for kind, payload in frames:
+                ring.push(kind, payload)
+                got_kind, view = ring.pop_view()
+                assert (got_kind, bytes(view)) == (kind, payload)
+                view.release()
+            assert ring.pop_view() is None
+        finally:
+            ring.close()
+            ring.unlink()
+
+    @given(frames=payloads_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_drain_views_matches_drain(self, frames):
+        """The bulk-frame view drain returns the same frames as the
+        copying drain would, oldest first."""
+        ring = ShmRing(capacity=4096)
+        try:
+            for kind, payload in frames:
+                ring.push(kind, payload)
+            views = ring.drain_views()
+            materialized = [(kind, bytes(view)) for kind, view in views]
+            for _, view in views:
+                view.release()
+            assert materialized == frames
+            assert ring.drain_views() == []
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_non_wrapping_view_aliases_the_segment(self, ring):
+        """The fast path hands out a window into shared memory itself —
+        writes to the segment are visible through the view (zero-copy)."""
+        ring.push(3, b"abcdef")
+        _, view = ring.pop_view()
+        try:
+            # Payload starts after the 16-byte ring header and the
+            # 5-byte frame header.
+            ring._shm.buf[16 + 5] = ord("Z")
+            assert bytes(view) == b"Zbcdef"
+        finally:
+            view.release()
+
+    def test_stale_view_after_pop_is_overwritten(self):
+        """Popping frees the frame's bytes for reuse: a view retained
+        across the next push aliases recycled storage and goes stale.
+        Callers that keep a frame must copy it (``bytes(view)``) first."""
+        ring = ShmRing(capacity=64)
+        try:
+            ring.push(1, b"a" * 32)
+            _, view = ring.pop_view()
+            keep = bytes(view)  # owned copy taken before the next push
+            assert keep == b"a" * 32
+            ring.push(2, b"b" * 32)  # wraps; recycles the popped region
+            assert bytes(view) != b"a" * 32
+            assert keep == b"a" * 32
+            view.release()
+        finally:
+            ring.close()
+            ring.unlink()
+
+
 summaries_strategy = st.lists(
     st.fixed_dictionaries(
         {

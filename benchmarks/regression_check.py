@@ -17,9 +17,10 @@ A ratio metric present in the baseline but absent from the candidate
 fails the gate (the harness stopped measuring a guaranteed ratio);
 absolute metrics missing from the candidate are reported and skipped.
 
-For ``BENCH_3`` the comparison is mode-aware: a ``--smoke`` candidate
-is compared against the smoke-sized section the full harness embeds in
-the committed artifact, so CI checks like against like.
+For ``BENCH_3`` and ``BENCH_6`` the comparison is mode-aware: a
+``--smoke`` candidate is compared against the smoke-sized section the
+full harness embeds in the committed artifact, so CI checks like
+against like.
 
 Exit status: 0 when no compared metric regressed, 1 otherwise.
 """
@@ -42,6 +43,10 @@ DEFAULT_TOLERANCE = 0.20
 METRIC_ALIASES = {
     "simulator_events_per_s": "kernel_events_per_s",
     "corridor_wall_speedup": "corridor_speedup",
+    # Early BENCH_6 drafts reported the city scaling figure under the
+    # generic name before it was prefixed with its bench family.
+    "critical_path_speedup_city": "city_critical_path_speedup",
+    "city_speedup": "city_critical_path_speedup",
 }
 
 
@@ -53,9 +58,15 @@ def apply_aliases(metrics: dict) -> dict:
     return out
 
 
-def _bench3_metrics(report: dict, mode: str) -> dict:
+#: Benches whose artifacts carry per-mode sections (a full artifact
+#: embeds its smoke section so CI compares like against like).
+MODE_AWARE_BENCHES = ("BENCH_3", "BENCH_6")
+
+
+def _mode_section_metrics(report: dict, mode: str) -> dict:
     """The regression_metrics dict for the requested mode, from either
     a full artifact (which embeds both sections) or a smoke one."""
+    bench = report.get("bench")
     section = report.get(mode)
     if section is None and mode == "full" and report.get("mode") == "smoke":
         raise SystemExit(
@@ -63,14 +74,14 @@ def _bench3_metrics(report: dict, mode: str) -> dict:
             "compare"
         )
     if section is None:
-        raise SystemExit(f"no {mode!r} section in BENCH_3 artifact")
+        raise SystemExit(f"no {mode!r} section in {bench} artifact")
     return dict(section["regression_metrics"])
 
 
 def extract_metrics(report: dict, mode: str) -> dict:
     bench = report.get("bench")
-    if bench == "BENCH_3":
-        return _bench3_metrics(report, mode)
+    if bench in MODE_AWARE_BENCHES:
+        return _mode_section_metrics(report, mode)
     if bench == "BENCH_1":
         metrics = {
             "rsu_micro_batch_speedup": report["rsu_micro_batch"]["speedup"],
@@ -140,6 +151,19 @@ def extract_wall_seconds(report: dict) -> dict:
             f"corridor_{name}_wall_s": mode["wall_ms"] / 1000.0
             for name, mode in sorted(modes.items())
         }
+    if bench == "BENCH_6":
+        walls = {}
+        for mode_name in ("full", "smoke"):
+            section = report.get(mode_name)
+            if not section:
+                continue
+            walls[f"city_{mode_name}_serial_wall_s"] = section["serial"][
+                "wall_s"
+            ]
+            walls[f"city_{mode_name}_sharded_wall_s"] = section["sharded"][
+                "wall_s"
+            ]
+        return walls
     return {}
 
 
@@ -182,7 +206,11 @@ def main(argv=None) -> int:
         # report its metrics informationally and pass, so the first CI
         # run of a new harness is green and committing its artifact is
         # what establishes the gate.
-        mode = candidate.get("mode", "full") if bench == "BENCH_3" else "full"
+        mode = (
+            candidate.get("mode", "full")
+            if bench in MODE_AWARE_BENCHES
+            else "full"
+        )
         print(
             f"{bench}: no committed baseline at {baseline_path.name} — "
             f"new benchmark, nothing to compare"
@@ -200,7 +228,11 @@ def main(argv=None) -> int:
     if not baseline.get("pass", False):
         raise SystemExit(f"committed baseline {baseline_path} is failing")
 
-    mode = candidate.get("mode", "full") if bench == "BENCH_3" else "full"
+    mode = (
+        candidate.get("mode", "full")
+        if bench in MODE_AWARE_BENCHES
+        else "full"
+    )
     candidate_metrics = apply_aliases(extract_metrics(candidate, mode))
     baseline_metrics = apply_aliases(extract_metrics(baseline, mode))
 

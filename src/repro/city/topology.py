@@ -1,0 +1,123 @@
+"""City topology: RSUs instantiated from the Table V placement plan.
+
+``repro.deploy.placement`` sizes the RSU fleet per road class from the
+synthetic Shenzhen network; this module turns those *counts* into named,
+connected RSUs the workload engine can route vehicles between.  The
+graph is deterministic in the spec alone: RSUs are clustered into
+interchange neighbourhoods (a hub star per cluster, hubs chained in a
+ring), which gives every RSU at least one neighbour and keeps most
+migrations local — the same property the corridor handover graph has.
+
+``CityTopology`` duck-types the three methods :class:`ShardPlanner`
+reads (``rsu_names`` / ``vehicle_load`` / ``edges``), so the greedy-LPT
+partitioner works on a city unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.city.model import CitySpec
+from repro.deploy.placement import PlacementPlan, RsuPlacementPlanner
+from repro.geo.network_builder import CityNetworkBuilder, NetworkSpec, TABLE_V_SPECS
+from repro.geo.roadnet import RoadType
+
+#: RSUs per interchange cluster (hub + members).
+CLUSTER_SIZE = 8
+
+
+@dataclass(frozen=True)
+class CityRsu:
+    """One deployed RSU: identity, class, demand weight, neighbourhood."""
+
+    index: int
+    name: str
+    road_type: RoadType
+    #: Relative arrival-rate weight (mean over all RSUs is 1.0), derived
+    #: from the road class's Table V traffic-density share.
+    arrival_weight: float
+    #: Global indices of migration-adjacent RSUs (sorted, no self).
+    neighbours: Tuple[int, ...]
+
+
+class CityTopology:
+    """The full RSU fleet with its migration graph."""
+
+    def __init__(self, rsus: Tuple[CityRsu, ...], placement: PlacementPlan):
+        self.rsus = rsus
+        self.placement = placement
+        self._by_name: Dict[str, CityRsu] = {r.name: r for r in rsus}
+
+    def __len__(self) -> int:
+        return len(self.rsus)
+
+    def rsu(self, name: str) -> CityRsu:
+        return self._by_name[name]
+
+    # -- the ShardPlanner protocol ------------------------------------
+    def rsu_names(self) -> List[str]:
+        return [r.name for r in self.rsus]
+
+    def vehicle_load(self) -> Dict[str, float]:
+        return {r.name: r.arrival_weight for r in self.rsus}
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """Directed migration edges as (src name, dst name) pairs."""
+        return [
+            (rsu.name, self.rsus[j].name)
+            for rsu in self.rsus
+            for j in rsu.neighbours
+        ]
+
+
+def build_city_topology(spec: CitySpec) -> CityTopology:
+    """Instantiate the RSU fleet for ``spec``, deterministically.
+
+    One RSU per ``rsus_required`` of each placement row, named
+    ``<road_type>-<k>``; arrival weights split each class's traffic-
+    density share evenly over its RSUs, normalised so the fleet mean is
+    1.0 (which makes ``arrivals_per_rsu_hour`` the fleet-average rate).
+    """
+    network = CityNetworkBuilder(seed=spec.seed).build_city(
+        NetworkSpec(count_scale=spec.count_scale)
+    )
+    densities = {rt: cls.traffic_density for rt, cls in TABLE_V_SPECS.items()}
+    placement = RsuPlacementPlanner(
+        rsu_spacing_m=spec.rsu_spacing_m,
+        vehicles_per_rsu=spec.vehicles_per_rsu,
+    ).plan(network, densities)
+
+    raw: List[Tuple[str, RoadType, float]] = []
+    for row in placement.rows:
+        share = row.traffic_density / row.rsus_required
+        for k in range(row.rsus_required):
+            raw.append((f"{row.road_type.value}-{k:04d}", row.road_type, share))
+    if not raw:
+        raise ValueError("placement plan produced zero RSUs")
+    mean_share = sum(share for _, _, share in raw) / len(raw)
+
+    neighbours: List[set] = [set() for _ in raw]
+    n_clusters = (len(raw) + CLUSTER_SIZE - 1) // CLUSTER_SIZE
+    hubs = [c * CLUSTER_SIZE for c in range(n_clusters)]
+    for cluster, hub in enumerate(hubs):
+        for member in range(hub + 1, min(hub + CLUSTER_SIZE, len(raw))):
+            neighbours[hub].add(member)
+            neighbours[member].add(hub)
+    if len(hubs) > 1:
+        for i, hub in enumerate(hubs):
+            nxt = hubs[(i + 1) % len(hubs)]
+            neighbours[hub].add(nxt)
+            neighbours[nxt].add(hub)
+
+    rsus = tuple(
+        CityRsu(
+            index=i,
+            name=name,
+            road_type=road_type,
+            arrival_weight=share / mean_share,
+            neighbours=tuple(sorted(neighbours[i])),
+        )
+        for i, (name, road_type, share) in enumerate(raw)
+    )
+    return CityTopology(rsus, placement)

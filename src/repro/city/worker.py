@@ -1,0 +1,275 @@
+"""City shard worker: the per-process side of the sharded city engine.
+
+Protocol (engine → worker over a Pipe, frames over ShmRings):
+
+- ``("tick", index, now, n_frames, inline)`` — drain exactly
+  ``n_frames`` from the inbox (RSU-state frames install first, then
+  move bundles), run the tick over owned RSUs.  With ``inline`` true
+  (every tick that cannot change ownership — the shard map is fixed,
+  so moves can be routed immediately), also partition and push the
+  produced moves before replying ``("ticked", cpu_s, concurrent)`` —
+  one Pipe round trip per tick carrying one scalar.  With ``inline``
+  false (a rebalance-decision tick, i.e. the window boundary) the
+  moves are *held* for the flush phase and the reply is
+  ``("ticked", cpu_s, concurrent, indices, window_counts)``: the
+  per-RSU loads summed worker-side over the closing window, which is
+  exactly what the rebalancer consumes.  Ownership is constant within
+  a window, so the local accumulate is well-defined.
+- ``("flush", reassignments)`` — rebalance-decision ticks only: apply
+  RSU→shard reassignments (the loser packs the RSU, RNG state
+  included, into a FRAME_RSU_STATE addressed to the new owner), then
+  partition the held moves by destination shard under the *updated*
+  map and push one FRAME_MIGRATION per destination.  Reply
+  ``("flushed", cpu_s)``.  Splitting tick and flush on these ticks is
+  what makes a rebalance atomic: ownership changes are decided from
+  the tick's loads and applied before any of that tick's moves are
+  routed, so no frame is ever addressed to a stale owner and no RSU
+  migrates mid-tick.
+- ``("collect", n_frames)`` — drain leftovers (counting, not applying,
+  their rows as in-flight), reply ``("result", payload)``.
+
+Errors anywhere ship the traceback back as ``("error", tb)``; the
+engine re-raises.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+import traceback
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.city.engine import MoveBundle, ShardState
+from repro.city.model import CitySpec
+from repro.city.topology import CityTopology
+from repro.obs import metrics as obs_metrics
+from repro.parallel.barrier import (
+    FRAME_MIGRATION,
+    FRAME_RSU_STATE,
+    decode_shard_payload,
+    encode_shard_payload,
+)
+from repro.parallel.worker import enable_worker_observability
+from repro.streaming.shm import ShmRing
+
+
+@dataclass
+class CityWorkerContext:
+    shard_index: int
+    n_shards: int
+    spec: CitySpec
+    topology: CityTopology
+    #: Global RSU indices this shard owns at start.
+    owned: Tuple[int, ...]
+    #: Initial RSU index → shard map (identical in every worker).
+    shard_of: Tuple[int, ...]
+    conn: object
+    inbox: ShmRing
+    outbox: ShmRing
+
+
+def city_worker_main(ctx: CityWorkerContext) -> None:
+    try:
+        # Same policy as the serial engine loop: the tick path allocates
+        # heavily but cycle-free, so cyclic GC is pure pause time — and a
+        # pause in any one worker lands on the tick's critical path.
+        gc.disable()
+        _CityWorker(ctx).serve()
+    except BaseException:  # ship the traceback; the engine re-raises
+        try:
+            ctx.conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+
+
+class _CityWorker:
+    def __init__(self, ctx: CityWorkerContext) -> None:
+        build_start = time.process_time()
+        self.ctx = ctx
+        self.index = ctx.shard_index
+        self.obs_registry, self.obs_recorder = enable_worker_observability(
+            ctx.spec.observability
+        )
+        self.shard = ShardState(ctx.spec, ctx.topology, ctx.owned)
+        self.shard_of = np.asarray(ctx.shard_of, dtype=np.int64)
+        #: Bundles destined to RSUs we own, buffered across the tick
+        #: boundary (the intra-shard analogue of a migration frame).
+        self.pending_local: List[MoveBundle] = []
+        #: The last tick's moves, held between "tick" and "flush".
+        self.held_moves: List[MoveBundle] = []
+        #: Per-RSU load sums over the current rebalance window (reset at
+        #: every decision tick, right after they are shipped).
+        self.win_indices = None
+        self.win_counts = None
+        self.moves_produced = 0
+        self.build_cpu_s = time.process_time() - build_start
+
+    # ------------------------------------------------------------------
+    def serve(self) -> None:
+        self.ctx.conn.send(("ready", self.build_cpu_s))
+        while True:
+            message = self.ctx.conn.recv()
+            op = message[0]
+            if op == "tick":
+                _, tick_index, now, n_frames, inline = message
+                self._tick(tick_index, now, n_frames, inline)
+            elif op == "flush":
+                self._flush(message[1])
+            elif op == "collect":
+                self._collect(message[1])
+                return
+            else:  # pragma: no cover - protocol error
+                raise RuntimeError(f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    def _drain(self, n_frames: int) -> List[Tuple[int, bytes]]:
+        # The engine pushes every frame before the Pipe message that
+        # announces them, so one drain must account for all of them.
+        frames = self.ctx.inbox.drain()
+        if len(frames) != n_frames:
+            raise RuntimeError(
+                f"city shard {self.index}: expected {n_frames} inbox "
+                f"frames, drained {len(frames)}"
+            )
+        return frames
+
+    def _tick(
+        self, tick_index: int, now: float, n_frames: int, inline: bool
+    ) -> None:
+        cpu_start = time.process_time()
+        inbound = self.pending_local
+        self.pending_local = []
+        # Install adopted RSUs before admitting any moves: a frame in
+        # the same batch may carry vehicles bound for the new arrival.
+        bundles: List[MoveBundle] = []
+        for kind, buf in self._drain(n_frames):
+            _, payload = decode_shard_payload(buf)
+            if kind == FRAME_RSU_STATE:
+                self.shard.adopt(payload)
+            elif kind == FRAME_MIGRATION:
+                bundles.append(payload)
+            else:  # pragma: no cover - protocol error
+                raise RuntimeError(f"unexpected frame kind {kind}")
+        inbound = inbound + bundles
+        moves, (indices, counts) = self.shard.tick(tick_index, now, inbound)
+        self.held_moves = moves
+        self.moves_produced += sum(int(bundle[0].size) for bundle in moves)
+        concurrent = int(counts.sum())
+        # Ownership only changes across a window boundary, so within a
+        # window the index vector is the *same cached array object*
+        # (ShardState rebuilds it only on adopt/detach) and the loads
+        # accumulate with one vector add.
+        if indices is not self.win_indices:
+            self.win_indices = indices
+            self.win_counts = counts.copy()
+        else:
+            self.win_counts += counts
+        if inline:
+            # No ownership change possible this tick: route immediately
+            # and fold the whole tick into one scalar-carrying reply.
+            self._route_held([])
+            self.ctx.conn.send(
+                ("ticked", time.process_time() - cpu_start, concurrent)
+            )
+        else:
+            window_indices, window_counts = self.win_indices, self.win_counts
+            self.win_indices = None
+            self.win_counts = None
+            self.ctx.conn.send(
+                (
+                    "ticked",
+                    time.process_time() - cpu_start,
+                    concurrent,
+                    window_indices,
+                    window_counts,
+                )
+            )
+
+    def _flush(self, reassignments: List[Tuple[int, int]]) -> None:
+        cpu_start = time.process_time()
+        self._route_held(reassignments)
+        self.ctx.conn.send(("flushed", time.process_time() - cpu_start))
+
+    def _route_held(self, reassignments: List[Tuple[int, int]]) -> None:
+        for rsu_index, to_shard in reassignments:
+            if (
+                self.shard_of[rsu_index] == self.index
+                and rsu_index in self.shard.rsus
+            ):
+                packed = self.shard.detach(rsu_index)
+                self.ctx.outbox.push(
+                    FRAME_RSU_STATE, encode_shard_payload(to_shard, packed)
+                )
+            self.shard_of[rsu_index] = to_shard
+
+        moves = self.held_moves
+        self.held_moves = []
+        if moves:
+            dst = np.concatenate([b[0] for b in moves])
+            src = np.concatenate([b[1] for b in moves])
+            ids = np.concatenate([b[2] for b in moves])
+            depart = np.concatenate([b[3] for b in moves])
+            leave = np.concatenate([b[4] for b in moves])
+            shard_ids = self.shard_of[dst]
+            # One stable sort splits the rows into per-shard contiguous
+            # slices (cheaper than a mask + fancy-index per shard, and
+            # row order within a shard is preserved, so the receiver's
+            # (dst, src) lexsort sees the same bundle order either way).
+            order = np.argsort(shard_ids, kind="stable")
+            dst, src, ids = dst[order], src[order], ids[order]
+            depart, leave = depart[order], leave[order]
+            shard_sorted = shard_ids[order]
+            bounds = np.searchsorted(
+                shard_sorted, np.arange(self.ctx.n_shards + 1)
+            )
+            for shard in range(self.ctx.n_shards):
+                lo, hi = int(bounds[shard]), int(bounds[shard + 1])
+                if lo == hi:
+                    continue
+                bundle = (
+                    dst[lo:hi],
+                    src[lo:hi],
+                    ids[lo:hi],
+                    depart[lo:hi],
+                    leave[lo:hi],
+                )
+                if shard == self.index:
+                    self.pending_local.append(bundle)
+                else:
+                    self.ctx.outbox.push(
+                        FRAME_MIGRATION, encode_shard_payload(shard, bundle)
+                    )
+
+    # ------------------------------------------------------------------
+    def _collect(self, n_frames: int) -> None:
+        in_flight = sum(int(b[0].size) for b in self.pending_local)
+        for kind, buf in self._drain(n_frames):
+            _, payload = decode_shard_payload(buf)
+            if kind == FRAME_MIGRATION:
+                in_flight += int(payload[0].size)
+            elif kind == FRAME_RSU_STATE:
+                # A final-tick rebalance landed here; adopt so the RSU
+                # is reported exactly once, by its new owner.
+                self.shard.adopt(payload)
+        obs_encoded = None
+        if self.obs_registry is not None:
+            self.obs_registry.gauge("city.shard_rsus", shard=str(self.index)).set(
+                len(self.shard.rsus)
+            )
+            obs_encoded = self.obs_registry.snapshot().encode()
+            obs_metrics.disable()
+        self.ctx.conn.send(
+            (
+                "result",
+                {
+                    "rsus": self.shard.rsu_results(),
+                    "produced": self.moves_produced,
+                    "applied": self.shard.moves_applied,
+                    "in_flight": in_flight,
+                    "obs": obs_encoded,
+                },
+            )
+        )

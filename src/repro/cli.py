@@ -9,7 +9,17 @@ One subcommand per workflow a downstream user needs:
 - ``mesoscopic``— the Fig. 8 trip-level stability analysis;
 - ``testbed``   — the Fig. 6 latency/bandwidth scalability runs;
 - ``deploy``    — Tables V-VI and Fig. 9 deployment planning;
-- ``mac``       — Eq. 5-6 analytic medium-access times.
+- ``mac``       — Eq. 5-6 analytic medium-access times;
+- ``city``      — the city-scale trip-churn workload with dynamic
+  shard rebalancing.
+
+The scenario-running subcommands (``parallel``, ``obs``,
+``resilience``, ``city``) share one scenario parent parser
+(``--seed`` / ``--shards``) and, together with ``bench``, one output
+parent (``--out`` / ``--format``), so the flags mean the same thing
+everywhere.  Legacy spellings (``parallel --workers``,
+``obs --json``) still parse via :class:`_DeprecatedAlias` but warn on
+stderr.
 """
 
 from __future__ import annotations
@@ -147,6 +157,26 @@ def _cmd_mac(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_report(args: argparse.Namespace, markdown: str, payload: dict) -> None:
+    """Uniform ``--out`` / ``--format`` handling for report commands.
+
+    ``--format`` selects the stdout rendering; ``--out`` additionally
+    writes the JSON payload (machine consumers always get JSON,
+    whatever the terminal shows).
+    """
+    import json as _json
+    from pathlib import Path
+
+    if getattr(args, "out", None):
+        Path(args.out).write_text(
+            _json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    if getattr(args, "format", "md") == "json":
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(markdown)
+
+
 def _cmd_resilience(args: argparse.Namespace) -> int:
     from repro.experiments.resilience import resilience_corridor
     from repro.faults.events import corridor_profiles
@@ -156,6 +186,13 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
             kinds = ", ".join(type(e).__name__ for e in prof.events)
             print(f"{name:<14} {kinds}")
         return 0
+    if args.shards != 1:
+        print(
+            "repro resilience: fault injection is single-process; "
+            "--shards must be 1",
+            file=sys.stderr,
+        )
+        return 2
     report = resilience_corridor(
         profile_name=args.profile,
         n_vehicles=args.vehicles,
@@ -163,7 +200,7 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         motorways=args.motorways,
         seed=args.seed,
     )
-    print(report.format_report())
+    _emit_report(args, report.format_report(), report.to_json())
     return 0
 
 
@@ -174,12 +211,12 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         n_vehicles=args.vehicles,
         duration_s=args.duration,
         motorways=args.motorways,
-        workers=args.workers,
+        workers=args.shards,
         seed=args.seed,
         handover_fraction=args.handover_fraction,
         repeats=args.repeats,
     )
-    print(report.format_report())
+    _emit_report(args, report.format_report(), report.to_json())
     return 0 if report.warnings_identical else 1
 
 
@@ -197,7 +234,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         profile_name=None if args.profile == "none" else args.profile,
         shards=args.shards,
     )
-    write_report(report, json_path=args.json, prometheus_path=args.prom)
+    write_report(report, json_path=args.out, prometheus_path=args.prom)
     if args.format == "json":
         import json as _json
 
@@ -207,6 +244,22 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     if report.invariants is not None and not report.invariants.ok:
         return 1
     return 0
+
+
+def _cmd_city(args: argparse.Namespace) -> int:
+    from repro.experiments.city import city_report
+
+    report = city_report(
+        seed=args.seed,
+        shards=args.shards,
+        duration_s=args.duration,
+        count_scale=args.scale,
+        rebalance_interval_ticks=args.rebalance_every,
+        wave=args.wave,
+        observability=args.observe,
+    )
+    _emit_report(args, report.format_markdown(), report.to_json())
+    return 0 if report.ok else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -248,45 +301,62 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     candidate = json.loads(candidate_path.read_text())
     bench = candidate.get("bench")
-    mode = candidate.get("mode", "full") if bench == "BENCH_3" else "full"
+    mode = (
+        candidate.get("mode", "full")
+        if bench in ("BENCH_3", "BENCH_6")
+        else "full"
+    )
     candidate_metrics = apply_aliases(extract_metrics(candidate, mode))
     candidate_walls = extract_wall_seconds(candidate)
 
     baseline_path = (
         Path(args.baseline) if args.baseline else root / f"{bench}.json"
     )
-    print(f"### {bench} delta ({candidate.get('mode', 'full')} candidate)\n")
+    lines = [f"### {bench} delta ({candidate.get('mode', 'full')} candidate)\n"]
+    payload = {
+        "bench": bench,
+        "mode": mode,
+        "candidate": dict(candidate_metrics),
+        "candidate_wall_s": dict(candidate_walls),
+        "baseline": None,
+        "baseline_wall_s": None,
+    }
     if not baseline_path.exists():
-        print(f"No committed baseline at `{baseline_path.name}` — new "
-              "benchmark.\n")
-        print("| metric | candidate | kind |")
-        print("|---|---:|---|")
+        lines.append(f"No committed baseline at `{baseline_path.name}` — new "
+                     "benchmark.\n")
+        lines.append("| metric | candidate | kind |")
+        lines.append("|---|---:|---|")
         for name, value in sorted(candidate_metrics.items()):
             kind = "ratio" if is_ratio_metric(name) else "absolute"
-            print(f"| {name} | {value:,.3f} | {kind} (no baseline) |")
+            lines.append(f"| {name} | {value:,.3f} | {kind} (no baseline) |")
         for name, value in sorted(candidate_walls.items()):
-            print(f"| {name} | {value:,.3f} | wall seconds (no baseline) |")
+            lines.append(
+                f"| {name} | {value:,.3f} | wall seconds (no baseline) |"
+            )
+        _emit_report(args, "\n".join(lines), payload)
         return 0
     baseline = json.loads(baseline_path.read_text())
     baseline_metrics = apply_aliases(extract_metrics(baseline, mode))
     baseline_walls = extract_wall_seconds(baseline)
+    payload["baseline"] = dict(baseline_metrics)
+    payload["baseline_wall_s"] = dict(baseline_walls)
 
-    print(f"Baseline: `{baseline_path.name}` "
-          f"({baseline.get('mode', 'full')} mode)\n")
-    print("| metric | candidate | baseline | delta | kind |")
-    print("|---|---:|---:|---:|---|")
+    lines.append(f"Baseline: `{baseline_path.name}` "
+                 f"({baseline.get('mode', 'full')} mode)\n")
+    lines.append("| metric | candidate | baseline | delta | kind |")
+    lines.append("|---|---:|---:|---:|---|")
     for name in sorted(set(candidate_metrics) | set(baseline_metrics)):
         kind = "ratio" if is_ratio_metric(name) else "absolute"
         cand = candidate_metrics.get(name)
         base = baseline_metrics.get(name)
         if cand is None:
-            print(f"| {name} | — | {base:,.3f} | missing | {kind} |")
+            lines.append(f"| {name} | — | {base:,.3f} | missing | {kind} |")
             continue
         if base is None:
-            print(f"| {name} | {cand:,.3f} | — | new | {kind} |")
+            lines.append(f"| {name} | {cand:,.3f} | — | new | {kind} |")
             continue
         delta = (cand - base) / base if base else float("nan")
-        print(
+        lines.append(
             f"| {name} | {cand:,.3f} | {base:,.3f} | {delta:+.1%} | {kind} |"
         )
     # Absolute wall clocks next to the ratios: what the speedups are
@@ -295,21 +365,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         cand = candidate_walls.get(name)
         base = baseline_walls.get(name)
         if cand is None:
-            print(f"| {name} | — | {base:,.3f} s | missing | wall seconds |")
+            lines.append(
+                f"| {name} | — | {base:,.3f} s | missing | wall seconds |"
+            )
             continue
         if base is None:
-            print(f"| {name} | {cand:,.3f} s | — | new | wall seconds |")
+            lines.append(f"| {name} | {cand:,.3f} s | — | new | wall seconds |")
             continue
         delta = (cand - base) / base if base else float("nan")
-        print(
+        lines.append(
             f"| {name} | {cand:,.3f} s | {base:,.3f} s | {delta:+.1%} "
             f"| wall seconds |"
         )
-    print(
+    lines.append(
         "\nRatio metrics are same-host relative and gate the CI check; "
         "absolute throughputs and wall seconds are informational across "
         "hosts."
     )
+    _emit_report(args, "\n".join(lines), payload)
     return 0
 
 
@@ -380,6 +453,49 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--input", help="telemetry CSV to load instead of generating")
     parser.add_argument("--cars", type=int, default=300, help="cars to generate")
     parser.add_argument("--seed", type=int, default=1, help="generator seed")
+
+
+class _DeprecatedAlias(argparse.Action):
+    """A legacy flag spelling: warns on stderr, stores to the new dest.
+
+    Registered with ``dest=<new flag's dest>`` so the handler code only
+    ever sees the canonical name.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        canonical = "--" + self.dest.replace("_", "-")
+        print(
+            f"warning: {option_string} is deprecated; use {canonical}",
+            file=sys.stderr,
+        )
+        setattr(namespace, self.dest, values)
+
+
+def _scenario_parent() -> argparse.ArgumentParser:
+    """Shared scenario flags: every runnable subcommand means the same
+    thing by ``--seed`` and ``--shards``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=7, help="scenario seed")
+    parent.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker processes (1 = single-process)",
+    )
+    return parent
+
+
+def _output_parent() -> argparse.ArgumentParser:
+    """Shared output flags: ``--format`` picks the stdout rendering,
+    ``--out`` additionally writes the JSON report to a file."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--format", default="md", choices=["md", "json"], help="stdout format"
+    )
+    parent.add_argument(
+        "--out", help="also write the JSON report to this path"
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -465,9 +581,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mac.set_defaults(func=_cmd_mac)
 
+    scenario_parent = _scenario_parent()
+    output_parent = _output_parent()
+
     resilience = commands.add_parser(
         "resilience",
         help="fault-injected corridor run (crash, kill, partition, loss)",
+        parents=[scenario_parent, output_parent],
     )
     resilience.add_argument(
         "--profile",
@@ -483,13 +603,13 @@ def build_parser() -> argparse.ArgumentParser:
     resilience.add_argument(
         "--motorways", type=int, default=2, help="motorway RSUs in the corridor"
     )
-    resilience.add_argument("--seed", type=int, default=7, help="scenario seed")
     resilience.set_defaults(func=_cmd_resilience)
 
     parallel = commands.add_parser(
         "parallel",
         help="sharded multi-process corridor vs single-process (speedup "
         "+ bit-identical warnings)",
+        parents=[scenario_parent, output_parent],
     )
     parallel.add_argument(
         "--vehicles", type=int, default=16, help="vehicles per RSU"
@@ -501,7 +621,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--motorways", type=int, default=8, help="motorway RSUs in the corridor"
     )
     parallel.add_argument(
-        "--workers", type=int, default=4, help="shard worker processes"
+        "--workers",
+        type=int,
+        dest="shards",
+        action=_DeprecatedAlias,
+        help=argparse.SUPPRESS,  # legacy spelling of --shards
     )
     parallel.add_argument(
         "--handover-fraction",
@@ -515,12 +639,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="timing repeats (noise-floored, see experiments.parallel)",
     )
-    parallel.add_argument("--seed", type=int, default=7, help="scenario seed")
     parallel.set_defaults(func=_cmd_parallel)
 
     obs = commands.add_parser(
         "obs",
         help="instrumented corridor run: metrics, spans, invariant audit",
+        parents=[scenario_parent, output_parent],
     )
     obs.add_argument(
         "--vehicles", type=int, default=16, help="vehicles per RSU"
@@ -531,30 +655,63 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument(
         "--motorways", type=int, default=2, help="motorway RSUs in the corridor"
     )
-    obs.add_argument("--seed", type=int, default=7, help="scenario seed")
     obs.add_argument(
         "--profile",
         default="none",
         help="fault profile to inject (serial runs only; default: none)",
     )
     obs.add_argument(
-        "--shards",
-        type=int,
-        default=1,
-        help="run the multi-process engine and merge per-shard snapshots",
+        "--json",
+        dest="out",
+        action=_DeprecatedAlias,
+        help=argparse.SUPPRESS,  # legacy spelling of --out
     )
-    obs.add_argument(
-        "--format", default="md", choices=["md", "json"], help="stdout format"
-    )
-    obs.add_argument("--json", help="also write the JSON report to this path")
     obs.add_argument(
         "--prom", help="also write Prometheus text exposition to this path"
     )
     obs.set_defaults(func=_cmd_obs)
 
+    city = commands.add_parser(
+        "city",
+        help="city-scale trip churn over the Table V fleet, with dynamic "
+        "shard rebalancing",
+        parents=[scenario_parent, output_parent],
+    )
+    city.add_argument(
+        "--duration",
+        type=float,
+        default=3600.0,
+        help="simulated seconds (86400 = a full demand-wave day)",
+    )
+    city.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="city size scale (1.0 = the paper's Table V inventory)",
+    )
+    city.add_argument(
+        "--rebalance-every",
+        type=int,
+        default=10,
+        help="rebalance check interval in ticks (multi-shard runs)",
+    )
+    city.add_argument(
+        "--wave",
+        default="commute",
+        choices=["commute", "flat"],
+        help="hour-of-day demand wave",
+    )
+    city.add_argument(
+        "--observe",
+        action="store_true",
+        help="collect metrics/span snapshots from the workers",
+    )
+    city.set_defaults(func=_cmd_city)
+
     bench = commands.add_parser(
         "bench",
         help="markdown delta table: fresh BENCH_*.json vs committed baseline",
+        parents=[output_parent],
     )
     bench.add_argument("candidate", help="freshly produced BENCH_*.json")
     bench.add_argument(

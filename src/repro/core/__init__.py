@@ -40,16 +40,24 @@ from repro.core.rsu import RsuConfig, RsuNode
 from repro.core.scenario import (
     ScenarioBuilder,
     ScenarioSpec,
+    paper_city,
     paper_corridor,
     paper_single_rsu,
 )
 from repro.core.system import (
     ResilienceStats,
-    ScenarioConfig,
     ScenarioResult,
     TestbedScenario,
 )
 from repro.core.vehicle import VehicleNode, VehicleStats
+from repro.core.workload import (
+    ChainWorkload,
+    CityWorkload,
+    CorridorWorkload,
+    SingleRsuCloudWorkload,
+    SingleRsuWorkload,
+    Workload,
+)
 from repro.core.wire import (
     SERDE_PROFILES,
     TelemetryStructSerde,
@@ -79,11 +87,17 @@ __all__ = [
     "ResilienceStats",
     "RsuConfig",
     "RsuNode",
+    "ChainWorkload",
+    "CityWorkload",
+    "CorridorWorkload",
     "ScenarioBuilder",
-    "ScenarioConfig",
     "ScenarioResult",
     "ScenarioSpec",
+    "SingleRsuCloudWorkload",
+    "SingleRsuWorkload",
     "TestbedScenario",
+    "Workload",
+    "paper_city",
     "paper_corridor",
     "paper_single_rsu",
     "VehicleNode",

@@ -1,8 +1,8 @@
 """The scenario specification and its fluent builder.
 
-:class:`ScenarioSpec` is the full set of testbed knobs — what
-``ScenarioConfig`` used to be, plus the resilience controls (fault
-profile, producer retry policy, upstream-silence timeout).
+:class:`ScenarioSpec` is the full set of testbed knobs, including the
+resilience controls (fault profile, producer retry policy,
+upstream-silence timeout).
 
 :class:`ScenarioBuilder` is the preferred way to assemble one::
 
@@ -18,9 +18,9 @@ profile, producer retry policy, upstream-silence timeout).
 
 Builder terminals (:meth:`~ScenarioBuilder.single_rsu`,
 :meth:`~ScenarioBuilder.corridor`, ...) hand the finished spec to the
-matching :class:`~repro.core.system.TestbedScenario` topology; a
-fault-free builder run is bit-identical to the legacy
-``ScenarioConfig`` path — the golden-equivalence tests pin this.
+matching :class:`~repro.core.workload.Workload` dataclass; a
+fault-free builder run is bit-identical to constructing the spec
+directly — the golden-equivalence tests pin this.
 
 :func:`paper_single_rsu` and :func:`paper_corridor` are presets
 pre-loaded with the paper's evaluation settings.
@@ -166,6 +166,7 @@ class ScenarioBuilder:
         self._spec = spec if spec is not None else ScenarioSpec()
         self._retry_explicit = False
         self._timeout_explicit = False
+        self._duration_explicit = False
 
     def _set(self, **changes) -> "ScenarioBuilder":
         self._spec = replace(self._spec, **changes)
@@ -179,6 +180,7 @@ class ScenarioBuilder:
         return self._set(n_vehicles=count)
 
     def duration(self, seconds: float) -> "ScenarioBuilder":
+        self._duration_explicit = True
         return self._set(duration_s=seconds)
 
     def update_rate(self, hz: float) -> "ScenarioBuilder":
@@ -310,18 +312,18 @@ class ScenarioBuilder:
             )
 
     def single_rsu(self, dataset=None):
-        from repro.core.system import TestbedScenario
+        from repro.core.workload import SingleRsuWorkload
 
         self._require_single_process("single_rsu")
-        return TestbedScenario.single_rsu(self._spec, dataset=dataset)
+        return SingleRsuWorkload(self._spec, dataset=dataset).build()
 
     def single_rsu_cloud(self, dataset=None, cloud=None):
-        from repro.core.system import TestbedScenario
+        from repro.core.workload import SingleRsuCloudWorkload
 
         self._require_single_process("single_rsu_cloud")
-        return TestbedScenario.single_rsu_cloud(
+        return SingleRsuCloudWorkload(
             self._spec, dataset=dataset, cloud=cloud
-        )
+        ).build()
 
     def corridor(
         self,
@@ -329,29 +331,43 @@ class ScenarioBuilder:
         dataset=None,
         link_detector_kind: str = "cad3",
     ):
-        from repro.core.system import TestbedScenario
+        from repro.core.workload import CorridorWorkload
 
-        if self._spec.shards > 1:
-            from repro.parallel.engine import ShardedScenario
-
-            return ShardedScenario(
-                self._spec,
-                motorways=motorways,
-                dataset=dataset,
-                link_detector_kind=link_detector_kind,
-            )
-        return TestbedScenario.corridor(
+        return CorridorWorkload(
             self._spec,
             motorways=motorways,
             dataset=dataset,
             link_detector_kind=link_detector_kind,
-        )
+        ).build()
 
     def chain(self, hops: int = 3, dataset=None):
-        from repro.core.system import TestbedScenario
+        from repro.core.workload import ChainWorkload
 
         self._require_single_process("chain")
-        return TestbedScenario.chain(self._spec, hops=hops, dataset=dataset)
+        return ChainWorkload(self._spec, hops=hops, dataset=dataset).build()
+
+    def city(self, **overrides):
+        """City-scale trip churn over the Table V fleet.
+
+        The shared knobs — seed, shards, observability, and (when set
+        explicitly via :meth:`duration`) the horizon — carry over from
+        the builder; everything city-specific (tick size, demand wave,
+        churn rates, rebalance cadence) is a
+        :class:`~repro.city.model.CitySpec` field passed as a keyword
+        override.  Returns a :class:`~repro.city.engine.CityEngine`.
+        """
+        from repro.city.model import CitySpec
+        from repro.core.workload import CityWorkload
+
+        kwargs = {
+            "seed": self._spec.seed,
+            "shards": self._spec.shards,
+            "observability": self._spec.observability,
+        }
+        if self._duration_explicit:
+            kwargs["duration_s"] = self._spec.duration_s
+        kwargs.update(overrides)
+        return CityWorkload(CitySpec(**kwargs)).build()
 
 
 # ----------------------------------------------------------------------
@@ -371,3 +387,12 @@ def paper_corridor() -> ScenarioBuilder:
         .duration(10.0)
         .handover(0.25)
     )
+
+
+def paper_city() -> ScenarioBuilder:
+    """Table V city: a full demand-wave day of trip churn over the
+    Shenzhen-calibrated RSU fleet.  Finish with
+    :meth:`~ScenarioBuilder.city` — the city-specific knobs (tick size,
+    churn rates, rebalance cadence) take their defaults from
+    :class:`~repro.city.model.CitySpec` unless overridden there."""
+    return ScenarioBuilder()

@@ -12,7 +12,6 @@ Two topologies, matching the evaluation:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -34,24 +33,6 @@ from repro.net.htb import HtbClass, HtbShaper
 from repro.net.link import WiredLink
 from repro.simkernel.rng import RngRegistry
 from repro.simkernel.simulator import Simulator
-
-
-class ScenarioConfig(ScenarioSpec):
-    """Deprecated alias of :class:`~repro.core.scenario.ScenarioSpec`.
-
-    Construct specs with ``TestbedScenario.builder()`` (or the
-    presets in :mod:`repro.core.scenario`) instead; this shim keeps
-    pre-builder call sites working, field-for-field, while warning.
-    """
-
-    def __init__(self, *args, **kwargs) -> None:
-        warnings.warn(
-            "ScenarioConfig is deprecated; use TestbedScenario.builder() "
-            "or repro.core.scenario.ScenarioSpec",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(*args, **kwargs)
 
 
 @dataclass
@@ -578,6 +559,53 @@ class TestbedScenario:
                     )
 
         self.sim.at(at_s, fail, label="failover")
+
+    # ------------------------------------------------------------------
+    # Trip churn (mid-run spawn / retire)
+    # ------------------------------------------------------------------
+    def spawn_vehicles(
+        self,
+        rsu_name: str,
+        count: int,
+        at_s: float,
+        records: Sequence[TelemetryRecord],
+    ) -> None:
+        """Schedule ``count`` fresh vehicles to join ``rsu_name`` at
+        ``at_s`` and run until the scenario ends.
+
+        Car ids are assigned when the spawn *fires* (from the same
+        counter :meth:`add_vehicles` uses), so interleaved spawns stay
+        deterministic: the simulator fires same-time events in schedule
+        order.
+        """
+        if count < 1:
+            raise ValueError("spawn count must be >= 1")
+
+        def spawn() -> None:
+            created = self.add_vehicles(rsu_name, count, records)
+            for vehicle in created:
+                vehicle.start(until=self.config.duration_s)
+
+        self.sim.at(at_s, spawn, label="spawn")
+
+    def schedule_retire(self, car_ids: Sequence[int], at_s: float) -> None:
+        """Retire the given vehicles at ``at_s`` (their trips end).
+
+        Retired vehicles stop producing and polling but stay attached,
+        so their remaining warnings stay auditable; their stats are
+        still collected at the end of the run.
+        """
+        targets = tuple(car_ids)
+
+        def retire() -> None:
+            by_id = {vehicle.car_id: vehicle for vehicle in self.vehicles}
+            for car_id in targets:
+                vehicle = by_id.get(car_id)
+                if vehicle is None:
+                    raise KeyError(f"no vehicle with car id {car_id}")
+                vehicle.retire()
+
+        self.sim.at(at_s, retire, label="retire")
 
     # ------------------------------------------------------------------
     # Canonical topologies

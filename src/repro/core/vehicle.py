@@ -207,6 +207,7 @@ class VehicleNode:
         self._cancel_notify = None
         self._wakeup_pending = False
         self._started = False
+        self._retired = False
         # Batched dataplane state: precomputed produce-side constants
         # and the virtual warning-poll grid.
         self._leaf_name = f"vehicle-{car_id}"
@@ -311,6 +312,25 @@ class VehicleNode:
             until=until,
             label=f"vehicle-{self.car_id}-poll",
         )
+
+    @property
+    def retired(self) -> bool:
+        return self._retired
+
+    def retire(self) -> None:
+        """End this vehicle's trip mid-run: stop producing and polling.
+
+        Unlike :meth:`stop` at scenario teardown, retirement is a
+        workload event (the trip ended), so it is idempotent and flags
+        the vehicle for churn accounting.  The consumer stays attached:
+        warnings already appended — or still materializing from
+        telemetry in the pipeline — remain countable as pending, so the
+        warning conservation law holds under churn.
+        """
+        if self._retired:
+            return
+        self._retired = True
+        self.stop()
 
     def stop(self) -> None:
         self._started = False

@@ -1,0 +1,132 @@
+"""A single construction surface for every runnable workload.
+
+The corridor-family scenarios and the city-scale churn workload used to
+be built through unrelated entry points; the :class:`Workload` protocol
+unifies them.  A workload is a frozen description — spec plus topology
+parameters — whose ``build()`` returns an engine exposing ``run()``:
+
+- :class:`SingleRsuWorkload` / :class:`SingleRsuCloudWorkload` /
+  :class:`ChainWorkload` → a wired
+  :class:`~repro.core.system.TestbedScenario`;
+- :class:`CorridorWorkload` → the same, or a
+  :class:`~repro.parallel.engine.ShardedScenario` when the spec asks
+  for more than one shard;
+- :class:`CityWorkload` → a :class:`~repro.city.engine.CityEngine`
+  over the synthetic Shenzhen fleet.
+
+:class:`~repro.core.scenario.ScenarioBuilder`'s terminals delegate
+here, so fluent-built and directly-constructed workloads are the same
+code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """Anything the testbed can run end to end.
+
+    ``build()`` returns an engine with a ``run()`` method; ``name``
+    identifies the workload family in reports and CLI output.
+    """
+
+    name: str
+
+    def build(self) -> Any: ...
+
+
+@dataclass(frozen=True)
+class SingleRsuWorkload:
+    """One motorway RSU with its vehicle cohort (Fig. 6a/6c)."""
+
+    name: ClassVar[str] = "single_rsu"
+    spec: Any
+    dataset: Any = None
+
+    def build(self):
+        from repro.core.system import TestbedScenario
+
+        return TestbedScenario.single_rsu(self.spec, dataset=self.dataset)
+
+
+@dataclass(frozen=True)
+class SingleRsuCloudWorkload:
+    """A road RSU collaborating with a cloud-hosted link model."""
+
+    name: ClassVar[str] = "single_rsu_cloud"
+    spec: Any
+    dataset: Any = None
+    cloud: Any = None
+
+    def build(self):
+        from repro.core.system import TestbedScenario
+
+        return TestbedScenario.single_rsu_cloud(
+            self.spec, dataset=self.dataset, cloud=self.cloud
+        )
+
+
+@dataclass(frozen=True)
+class ChainWorkload:
+    """A linear chain of collaborating RSUs."""
+
+    name: ClassVar[str] = "chain"
+    spec: Any
+    hops: int = 3
+    dataset: Any = None
+
+    def build(self):
+        from repro.core.system import TestbedScenario
+
+        return TestbedScenario.chain(self.spec, hops=self.hops, dataset=self.dataset)
+
+
+@dataclass(frozen=True)
+class CorridorWorkload:
+    """The Fig. 1 interchange corridor; shards > 1 goes multi-process."""
+
+    name: ClassVar[str] = "corridor"
+    spec: Any
+    motorways: int = 4
+    dataset: Any = None
+    link_detector_kind: str = "cad3"
+
+    def build(self):
+        if self.spec.shards > 1:
+            from repro.parallel.engine import ShardedScenario
+
+            return ShardedScenario(
+                self.spec,
+                motorways=self.motorways,
+                dataset=self.dataset,
+                link_detector_kind=self.link_detector_kind,
+            )
+        from repro.core.system import TestbedScenario
+
+        return TestbedScenario.corridor(
+            self.spec,
+            motorways=self.motorways,
+            dataset=self.dataset,
+            link_detector_kind=self.link_detector_kind,
+        )
+
+
+@dataclass(frozen=True)
+class CityWorkload:
+    """City-scale trip churn over the Table V RSU fleet.
+
+    ``spec`` is a :class:`~repro.city.model.CitySpec` (typed loosely so
+    ``repro.city`` stays a lazy import — it pulls in the parallel
+    engine, which imports this package).
+    """
+
+    name: ClassVar[str] = "city"
+    spec: Any
+
+    def build(self):
+        from repro.city.engine import CityEngine
+
+        return CityEngine(self.spec)

@@ -102,6 +102,30 @@ class ParallelReport:
         return self.records / self.critical_path_cpu_s
 
     # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "motorways": self.motorways,
+            "n_vehicles": self.n_vehicles,
+            "duration_s": self.duration_s,
+            "workers": self.workers,
+            "host_cpus": self.host_cpus,
+            "serial_wall_s": self.serial_wall_s,
+            "serial_cpu_s": self.serial_cpu_s,
+            "parallel_wall_s": self.parallel_wall_s,
+            "critical_path_cpu_s": self.critical_path_cpu_s,
+            "total_worker_cpu_s": self.total_worker_cpu_s,
+            "windows": self.windows,
+            "records": self.records,
+            "warnings": self.warnings,
+            "undelivered_frames": self.undelivered_frames,
+            "warnings_identical": self.warnings_identical,
+            "shard_assignments": [list(s) for s in self.shard_assignments],
+            "critical_path_speedup": self.critical_path_speedup,
+            "measured_wall_speedup": self.measured_wall_speedup,
+            "work_inflation": self.work_inflation,
+            "speedup_samples": list(self.speedup_samples),
+        }
+
     def format_report(self) -> str:
         lines = [
             f"corridor: {self.motorways} motorways + link, "

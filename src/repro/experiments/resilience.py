@@ -63,6 +63,33 @@ class ResilienceReport:
             return None
         return self.warnings_delivered / self.baseline_warnings_delivered
 
+    def to_json(self) -> dict:
+        return {
+            "profile": self.profile,
+            "recovery_time_s": dict(self.recovery_time_s),
+            "max_recovery_time_s": self.max_recovery_time_s,
+            "records_lost": self.records_lost,
+            "records_retried": self.records_retried,
+            "records_dropped": self.records_dropped,
+            "duplicates_rejected": self.duplicates_rejected,
+            "duplicate_detections": self.duplicate_detections,
+            "broker_crashes": self.broker_crashes,
+            "summaries_lost": self.summaries_lost,
+            "degraded_batches": self.degraded_batches,
+            "warnings_delivered": self.warnings_delivered,
+            "baseline_warnings_delivered": self.baseline_warnings_delivered,
+            "warning_delivery_ratio": self.warning_delivery_ratio,
+            "fault_log": [
+                {
+                    "time_s": entry.time_s,
+                    "kind": entry.kind,
+                    "target": entry.target,
+                    "detail": entry.detail,
+                }
+                for entry in self.fault_log
+            ],
+        }
+
     def format_report(self) -> str:
         lines = [f"fault profile: {self.profile}"]
         for entry in self.fault_log:

@@ -36,6 +36,14 @@ FRAME_TRANSFER = 3  # a detached vehicle's full migration state
 # to the engine itself, never to a shard) — consumers must dispatch on
 # kind *before* calling :func:`frame_target`.
 FRAME_METRICS = 4
+# City-workload frames.  Both carry the usual ``[u8 len][utf-8]``
+# routing header, but the target is a *shard index* rendered as a
+# decimal string rather than an RSU name: city moves are batched per
+# destination shard (one frame per (source shard, destination shard)
+# per tick) so the engine's routing work stays O(shards), not
+# O(vehicles), per window.
+FRAME_MIGRATION = 5  # a tick's batched vehicle moves bound for one shard
+FRAME_RSU_STATE = 6  # a whole RSU's state (arrays + RNG) mid-rebalance
 
 _SUMMARY_HEAD = struct.Struct("<d")
 _TELEMETRY_HEAD = struct.Struct("<dq")
@@ -130,6 +138,20 @@ def encode_transfer(rsu_name: str, state: Dict) -> bytes:
 
 def decode_transfer(buf: bytes) -> Tuple[str, Dict]:
     return frame_target(buf), pickle.loads(_body(buf))
+
+
+def encode_shard_payload(shard_index: int, payload: object) -> bytes:
+    """Frame a pickled payload addressed to a *shard* (city frames).
+
+    Used for :data:`FRAME_MIGRATION` and :data:`FRAME_RSU_STATE`, whose
+    routing target is a shard index rather than an RSU name.  The engine
+    routes with ``int(frame_target(buf))`` and never unpickles the body.
+    """
+    return _pack_target(str(shard_index)) + pickle.dumps(payload)
+
+
+def decode_shard_payload(buf: bytes) -> Tuple[int, object]:
+    return int(frame_target(buf)), pickle.loads(_body(buf))
 
 
 # ----------------------------------------------------------------------

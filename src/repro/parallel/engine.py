@@ -23,7 +23,7 @@ import logging
 import multiprocessing
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.scenario import ScenarioSpec
 from repro.core.system import (
@@ -59,6 +59,22 @@ class WindowTiming:
     worker_cpu_s: Tuple[float, ...]
     #: Engine-side CPU spent collecting replies and routing frames.
     engine_cpu_s: float
+
+
+def critical_path_cpu_s(
+    build_cpu_s: Sequence[float], window_timings: Sequence[WindowTiming]
+) -> float:
+    """A sharded run's CPU critical path: slowest shard's build plus,
+    per window, the slowest shard's step plus the engine's routing
+    work.  On a host with at least ``n_shards`` free cores this is what
+    the wall clock converges to; on a smaller host it is the honest
+    speedup numerator (workers time-share cores, so measured wall
+    degenerates to the CPU *sum*).  Shared by the corridor and city
+    engines."""
+    total = max(build_cpu_s) if build_cpu_s else 0.0
+    for timing in window_timings:
+        total += max(timing.worker_cpu_s) + timing.engine_cpu_s
+    return total
 
 
 @dataclass
@@ -127,16 +143,8 @@ class ShardedScenario:
         return self.plan.n_shards
 
     def critical_path_cpu_s(self) -> float:
-        """The parallel run's CPU critical path: slowest shard's build
-        plus, per window, the slowest shard's step plus the engine's
-        routing work.  On a host with at least ``n_shards`` free cores
-        this is what the wall clock converges to; on a smaller host it
-        is the honest speedup numerator (workers time-share cores, so
-        measured wall degenerates to the CPU *sum*)."""
-        total = max(self.build_cpu_s) if self.build_cpu_s else 0.0
-        for timing in self.window_timings:
-            total += max(timing.worker_cpu_s) + timing.engine_cpu_s
-        return total
+        """See module-level :func:`critical_path_cpu_s`."""
+        return critical_path_cpu_s(self.build_cpu_s, self.window_timings)
 
     def total_worker_cpu_s(self) -> float:
         """CPU summed over every shard's windows (work-inflation check)."""

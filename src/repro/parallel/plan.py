@@ -12,7 +12,7 @@ equivalence guarantee would depend on dict ordering.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
 
 from repro.core.topology import CorridorTopology
 
@@ -48,6 +48,15 @@ class ShardPlan:
         return [sum(weight[name] for name in names) for names in self.assignments]
 
 
+@dataclass(frozen=True)
+class RebalanceDecision:
+    """Move one whole RSU from one shard to another."""
+
+    rsu: str
+    from_shard: int
+    to_shard: int
+
+
 class ShardPlanner:
     """Deterministic greedy partitioner for :class:`CorridorTopology`."""
 
@@ -78,3 +87,60 @@ class ShardPlanner:
             shards[best].append(name)
             loads[best] += weight[name]
         return ShardPlan(tuple(tuple(names) for names in shards))
+
+    def rebalance(
+        self,
+        assignments: Sequence[Sequence[str]],
+        loads: Mapping[str, float],
+        threshold: float = 0.25,
+        max_moves: int = 2,
+    ) -> List[RebalanceDecision]:
+        """Decide which RSUs to migrate given *measured* per-RSU load.
+
+        ``assignments`` is the current ownership map (one sequence of RSU
+        names per shard); ``loads`` the observed per-RSU load (e.g. mean
+        concurrent vehicles since the last rebalance).  A move is
+        proposed only when the max/min shard imbalance exceeds
+        ``threshold`` of the mean shard load; each move takes the RSU
+        from the heaviest shard whose weight is closest to the heaviest
+        shard's excess over the mean (never emptying a shard) and hands
+        it to the lightest shard.  Pure function of its inputs — the
+        same loads always produce the same decisions, which is what lets
+        sharded runs stay bit-identical to serial ones: rebalancing
+        changes *where* an RSU steps, never *what* it draws.
+        """
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        owned = [list(names) for names in assignments]
+        n_shards = len(owned)
+        decisions: List[RebalanceDecision] = []
+        if n_shards < 2:
+            return decisions
+        shard_load = [sum(loads.get(n, 0.0) for n in names) for names in owned]
+        mean = sum(shard_load) / n_shards
+        for _ in range(max_moves):
+            heavy = max(range(n_shards), key=lambda s: (shard_load[s], -s))
+            light = min(range(n_shards), key=lambda s: (shard_load[s], s))
+            if heavy == light or len(owned[heavy]) <= 1:
+                break
+            if shard_load[heavy] - shard_load[light] <= threshold * max(mean, 1e-12):
+                break
+            excess = shard_load[heavy] - mean
+            # The candidate closest to the excess evens things out the
+            # most; the name tie-break keeps the choice total.
+            candidate = min(
+                owned[heavy],
+                key=lambda n: (abs(loads.get(n, 0.0) - excess), n),
+            )
+            moved = loads.get(candidate, 0.0)
+            # Refuse moves that would overshoot and *worsen* imbalance.
+            if shard_load[light] + moved - (shard_load[heavy] - moved) > (
+                shard_load[heavy] - shard_load[light]
+            ):
+                break
+            owned[heavy].remove(candidate)
+            owned[light].append(candidate)
+            shard_load[heavy] -= moved
+            shard_load[light] += moved
+            decisions.append(RebalanceDecision(candidate, heavy, light))
+        return decisions

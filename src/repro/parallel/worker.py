@@ -99,6 +99,23 @@ class ShardContext:
     outbox: ShmRing
 
 
+def enable_worker_observability(observing: bool):
+    """Install a fresh per-process metrics registry + span recorder.
+
+    Each worker is its own process, so the module-global active
+    registry is per-shard; the engine merges the snapshots.  Returns
+    ``(registry, recorder)`` — both ``None`` when not observing.
+    Shared by the corridor and city shard workers.
+    """
+    if not observing:
+        return None, None
+    registry = obs_metrics.MetricsRegistry()
+    recorder = SpanRecorder()
+    obs_metrics.enable(registry)
+    enable_tracing(recorder)
+    return registry, recorder
+
+
 def shard_worker_main(ctx: ShardContext) -> None:
     """Process entry point: build the shard, then serve barrier steps."""
     try:
@@ -122,15 +139,9 @@ class _ShardWorker:
         self.transfer_out: List[dict] = []
         self._proxies: Dict[str, RemoteRsuProxy] = {}
 
-        # Each worker is its own process, so the module-global active
-        # registry is per-shard; the engine merges the snapshots.
-        self.obs_registry = None
-        self.obs_recorder = None
-        if getattr(ctx.spec, "observability", False):
-            self.obs_registry = obs_metrics.MetricsRegistry()
-            self.obs_recorder = SpanRecorder()
-            obs_metrics.enable(self.obs_registry)
-            enable_tracing(self.obs_recorder)
+        self.obs_registry, self.obs_recorder = enable_worker_observability(
+            getattr(ctx.spec, "observability", False)
+        )
 
         scenario = TestbedScenario(ctx.spec)
         scenario.materialize(

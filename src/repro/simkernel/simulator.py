@@ -140,6 +140,83 @@ class GroupRecurrence:
         self.cancel()
 
 
+#: Bucket size past which an interval's groups get a time-keyed index.
+#: Below it a linear scan over a handful of groups beats dict upkeep;
+#: above it (city-scale churn can phase-split one interval into dozens
+#: of groups) registration and removal must stay O(1).
+INDEX_THRESHOLD = 8
+
+
+class _IntervalBucket:
+    """The live tick groups sharing one interval.
+
+    Starts as a plain list (registration scans it for a group whose
+    next firing instant is bit-equal).  Once the bucket outgrows
+    :data:`INDEX_THRESHOLD` it converts — permanently — to a dict keyed
+    by next firing time, which is sound because the coalescing protocol
+    guarantees at most one live group per ``(interval, time)``: a
+    registration matching an existing instant joins that group, and a
+    reschedule landing on an occupied instant merges into it (the epoch
+    scan) instead of co-existing.
+    """
+
+    __slots__ = ("groups", "by_time")
+
+    def __init__(self) -> None:
+        self.groups: List["_TickGroup"] = []
+        self.by_time: Optional[Dict[float, "_TickGroup"]] = None
+
+    def __len__(self) -> int:
+        if self.by_time is not None:
+            return len(self.by_time)
+        return len(self.groups)
+
+    def find(
+        self, time: float, exclude: Optional["_TickGroup"] = None
+    ) -> Optional["_TickGroup"]:
+        if self.by_time is not None:
+            group = self.by_time.get(time)
+            if group is not None and group is not exclude:
+                return group
+            return None
+        for group in self.groups:
+            if group is not exclude and group.time == time:
+                return group
+        return None
+
+    def add(self, group: "_TickGroup") -> None:
+        """Register ``group`` under its (already stamped) ``time``."""
+        if self.by_time is not None:
+            self.by_time[group.time] = group
+            return
+        self.groups.append(group)
+        if len(self.groups) > INDEX_THRESHOLD:
+            self.by_time = {g.time: g for g in self.groups}
+            self.groups = []
+
+    def discard(self, group: "_TickGroup") -> None:
+        if self.by_time is not None:
+            if self.by_time.get(group.time) is group:
+                del self.by_time[group.time]
+            return
+        try:
+            self.groups.remove(group)
+        except ValueError:
+            pass
+
+    def reindex(self, group: "_TickGroup", old_time: float) -> None:
+        """Move ``group``'s index entry after a reschedule.
+
+        A no-op while the bucket is list-backed — identity membership
+        doesn't change when a group's time does.
+        """
+        if self.by_time is None:
+            return
+        if self.by_time.get(old_time) is group:
+            del self.by_time[old_time]
+        self.by_time[group.time] = group
+
+
 class _TickGroup:
     """A coalesced set of recurrences sharing ``(interval, next_fire)``.
 
@@ -255,6 +332,7 @@ class _TickGroup:
                 sim._remove_group(self)
                 return
         sim.queue.schedule(self, next_time)
+        sim._reindex_group(self, now)
 
     def __repr__(self) -> str:
         return (
@@ -312,13 +390,14 @@ class Simulator:
         self._events_fired = 0
         self._running = False
         #: Live coalesced tick groups, bucketed by interval.  New
-        #: registrations scan their interval's bucket for a group whose
-        #: next firing instant is bit-equal to theirs — recurrences
-        #: coalesce only on exact float phase.  Keeping the registry off
-        #: the per-tick path (groups are looked up at registration and
-        #: on epoch change, never on a steady-state reschedule) is what
-        #: makes a single-member group as cheap as a plain ``every``.
-        self._groups: Dict[float, List[_TickGroup]] = {}
+        #: registrations look up their interval's bucket for a group
+        #: whose next firing instant is bit-equal to theirs —
+        #: recurrences coalesce only on exact float phase.  Small
+        #: buckets are scanned linearly; past :data:`INDEX_THRESHOLD`
+        #: a bucket indexes by firing time so churn-heavy workloads
+        #: (many phase-split groups per interval) keep O(1)
+        #: registration and removal.
+        self._groups: Dict[float, _IntervalBucket] = {}
         #: Bumped whenever a new group is created; groups compare it to
         #: their own snapshot to decide whether a phase-collision scan
         #: is needed at reschedule time.
@@ -446,27 +525,29 @@ class Simulator:
             )
         bucket = self._groups.get(interval)
         if bucket is None:
-            bucket = self._groups[interval] = []
-        for group in bucket:
-            if group.time == first:
-                group.members.append(member)
-                group.live += 1
-                member.group = group
-                if group.dispatching:
-                    # Joined the instant being dispatched right now
-                    # (e.g. ``start=now`` from inside a member
-                    # callback): fire it this tick, in arrival order,
-                    # as ``every`` would.
-                    group._fire_n += 1
-                return GroupRecurrence(member)
+            bucket = self._groups[interval] = _IntervalBucket()
+        group = bucket.find(first)
+        if group is not None:
+            group.members.append(member)
+            group.live += 1
+            member.group = group
+            if group.dispatching:
+                # Joined the instant being dispatched right now
+                # (e.g. ``start=now`` from inside a member
+                # callback): fire it this tick, in arrival order,
+                # as ``every`` would.
+                group._fire_n += 1
+            return GroupRecurrence(member)
         group = _TickGroup(self, interval)
         group.members.append(member)
         group.live = 1
         member.group = group
-        bucket.append(group)
         self._group_epoch += 1
         group._epoch = self._group_epoch
+        # Schedule first (the queue stamps ``group.time``), then index
+        # under the stamped instant.
         self.queue.schedule(group, first)
+        bucket.add(group)
         return GroupRecurrence(member)
 
     def _find_group(
@@ -479,21 +560,27 @@ class Simulator:
         difference, so phase collisions can only be introduced by a
         fresh registration.
         """
-        for group in self._groups.get(interval, ()):
-            if group is not exclude and group.time == time and group.live:
-                return group
+        bucket = self._groups.get(interval)
+        if bucket is None:
+            return None
+        group = bucket.find(time, exclude)
+        if group is not None and group.live:
+            return group
         return None
 
     def _remove_group(self, group: _TickGroup) -> None:
         """Drop a finished group from its interval bucket."""
         bucket = self._groups.get(group.interval)
         if bucket is not None:
-            try:
-                bucket.remove(group)
-            except ValueError:
-                pass
-            if not bucket:
+            bucket.discard(group)
+            if not len(bucket):
                 del self._groups[group.interval]
+
+    def _reindex_group(self, group: _TickGroup, old_time: float) -> None:
+        """Refresh a rescheduled group's bucket entry (indexed buckets)."""
+        bucket = self._groups.get(group.interval)
+        if bucket is not None:
+            bucket.reindex(group, old_time)
 
     def _drop_group(self, group: _TickGroup) -> None:
         """Remove a group whose members all cancelled between ticks."""

@@ -1,0 +1,65 @@
+"""CitySpec and demand-wave validation."""
+
+import pytest
+
+from repro.city.model import COMMUTE_WAVE, FLAT_WAVE, CitySpec, DemandWave
+
+
+class TestDemandWave:
+    def test_needs_24_entries(self):
+        with pytest.raises(ValueError):
+            DemandWave((1.0,) * 23)
+
+    def test_rejects_negative_multiplier(self):
+        with pytest.raises(ValueError):
+            DemandWave((1.0,) * 23 + (-0.1,))
+
+    def test_multiplier_is_a_step_function(self):
+        wave = COMMUTE_WAVE
+        # Constant within an hour, regardless of where in the hour.
+        assert wave.multiplier(8 * 3600.0) == wave.multiplier(8 * 3600.0 + 3599.0)
+        assert wave.multiplier(8 * 3600.0) == wave.hourly[8]
+        # Wraps past midnight.
+        assert wave.multiplier(25 * 3600.0) == wave.hourly[1]
+
+    def test_commute_wave_shape(self):
+        # Double-peaked: the PM rush tops the AM rush, both above mean.
+        assert COMMUTE_WAVE.peak == COMMUTE_WAVE.hourly[17]
+        assert COMMUTE_WAVE.hourly[8] > COMMUTE_WAVE.mean
+        assert COMMUTE_WAVE.hourly[3] < COMMUTE_WAVE.mean
+        assert FLAT_WAVE.peak == FLAT_WAVE.mean == 1.0
+
+
+class TestCitySpec:
+    def test_defaults_valid(self):
+        spec = CitySpec()
+        assert spec.n_ticks == 1440  # one day of 60 s ticks
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"duration_s": 0.0},
+            {"tick_s": 0.0},
+            {"count_scale": 0.0},
+            {"arrivals_per_rsu_hour": -1.0},
+            {"mean_trip_s": 0.0},
+            {"mean_residence_s": 0.0},
+            {"abnormal_prob": 1.5},
+            {"shards": 0},
+            {"rebalance_interval_ticks": -1},
+            {"rebalance_threshold": -0.1},
+            {"rebalance_rsu_cost": -1.0},
+        ],
+    )
+    def test_validation(self, overrides):
+        with pytest.raises(ValueError):
+            CitySpec(**overrides)
+
+    def test_replace_revalidates(self):
+        spec = CitySpec()
+        assert spec.replace(shards=4).shards == 4
+        with pytest.raises(ValueError):
+            spec.replace(shards=0)
+
+    def test_n_ticks_rounds(self):
+        assert CitySpec(duration_s=90.0, tick_s=60.0).n_ticks == 2

@@ -1,0 +1,88 @@
+"""City topology: determinism, density weighting, planner protocol."""
+
+import pytest
+
+from repro.city.model import CitySpec
+from repro.city.topology import build_city_topology
+from repro.geo.network_builder import TABLE_V_SPECS
+from repro.geo.roadnet import RoadType
+from repro.parallel.plan import ShardPlanner
+
+SPEC = CitySpec(count_scale=0.01)
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return build_city_topology(SPEC)
+
+
+class TestBuildDeterminism:
+    def test_same_spec_same_topology(self, topology):
+        again = build_city_topology(SPEC)
+        assert again.rsu_names() == topology.rsu_names()
+        assert again.vehicle_load() == topology.vehicle_load()
+        assert again.edges() == topology.edges()
+
+    def test_placement_backs_the_fleet(self, topology):
+        assert len(topology) == topology.placement.total_rsus
+        for row in topology.placement.rows:
+            named = [
+                r for r in topology.rsus if r.road_type is row.road_type
+            ]
+            assert len(named) == row.rsus_required
+
+
+class TestDensityWeighting:
+    def test_weights_normalised_to_unit_mean(self, topology):
+        weights = topology.vehicle_load().values()
+        assert sum(weights) / len(topology) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights)
+
+    def test_denser_class_gets_heavier_rsus(self, topology):
+        """Per-RSU weight orders by traffic-density share per RSU, so
+        the allocation is density-weighted, not uniform."""
+        by_type = {}
+        for rsu in topology.rsus:
+            by_type.setdefault(rsu.road_type, rsu.arrival_weight)
+        assert len(by_type) > 1
+        for road_type, weight in by_type.items():
+            row = topology.placement.row(road_type)
+            share = row.traffic_density / row.rsus_required
+            for other_type, other_weight in by_type.items():
+                other_row = topology.placement.row(other_type)
+                other_share = (
+                    other_row.traffic_density / other_row.rsus_required
+                )
+                if share > other_share:
+                    assert weight > other_weight
+
+    def test_table_v_densities_are_the_source(self, topology):
+        assert topology.placement.row(RoadType.MOTORWAY).traffic_density == (
+            TABLE_V_SPECS[RoadType.MOTORWAY].traffic_density
+        )
+
+
+class TestMigrationGraph:
+    def test_every_rsu_has_a_neighbour(self, topology):
+        for rsu in topology.rsus:
+            assert rsu.neighbours
+            assert rsu.index not in rsu.neighbours
+
+    def test_edges_are_symmetric(self, topology):
+        edges = set(topology.edges())
+        assert edges
+        for src, dst in edges:
+            assert (dst, src) in edges
+
+
+class TestPlannerProtocol:
+    def test_shard_planner_partitions_a_city(self, topology):
+        plan = ShardPlanner().plan(topology, 4)
+        assigned = sorted(
+            name for names in plan.assignments for name in names
+        )
+        assert assigned == sorted(topology.rsu_names())
+        loads = plan.loads(topology)
+        weight = topology.vehicle_load()
+        mean = sum(weight.values()) / len(plan.assignments)
+        assert max(loads) <= mean + max(weight.values())

@@ -1,0 +1,65 @@
+"""The unified Workload protocol and the builder's city terminal."""
+
+from repro.city.engine import CityEngine
+from repro.city.model import CitySpec
+from repro.core import ScenarioBuilder, ScenarioSpec
+from repro.core.scenario import paper_city
+from repro.core.workload import (
+    ChainWorkload,
+    CityWorkload,
+    CorridorWorkload,
+    SingleRsuCloudWorkload,
+    SingleRsuWorkload,
+    Workload,
+)
+
+
+class TestProtocol:
+    def test_every_family_satisfies_workload(self):
+        spec = ScenarioSpec(n_vehicles=4)
+        workloads = [
+            SingleRsuWorkload(spec),
+            SingleRsuCloudWorkload(spec),
+            ChainWorkload(spec),
+            CorridorWorkload(spec),
+            CityWorkload(CitySpec()),
+        ]
+        for workload in workloads:
+            assert isinstance(workload, Workload)
+            assert isinstance(workload.name, str)
+
+    def test_city_workload_builds_engine(self):
+        spec = CitySpec(count_scale=0.01, duration_s=120.0)
+        engine = CityWorkload(spec).build()
+        assert isinstance(engine, CityEngine)
+        assert engine.spec is spec
+
+
+class TestBuilderCityTerminal:
+    def test_shared_knobs_carry_over(self):
+        engine = (
+            ScenarioBuilder()
+            .seed(13)
+            .shards(2)
+            .city(count_scale=0.01, duration_s=300.0)
+        )
+        assert isinstance(engine, CityEngine)
+        assert engine.spec.seed == 13
+        assert engine.spec.shards == 2
+        assert engine.spec.count_scale == 0.01
+        assert engine.spec.duration_s == 300.0
+
+    def test_default_duration_is_city_default(self):
+        engine = ScenarioBuilder().city(count_scale=0.01)
+        # No explicit .duration() call: the CitySpec default (a full
+        # day) wins over the corridor spec's much shorter default.
+        assert engine.spec.duration_s == CitySpec().duration_s
+
+    def test_explicit_duration_carries(self):
+        engine = ScenarioBuilder().duration(600.0).city(count_scale=0.01)
+        assert engine.spec.duration_s == 600.0
+
+    def test_paper_city_preset(self):
+        engine = paper_city().city(count_scale=0.01)
+        assert isinstance(engine, CityEngine)
+        assert engine.spec.duration_s == CitySpec().duration_s

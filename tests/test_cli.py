@@ -74,3 +74,56 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "total=" in out
+
+
+class TestConsolidatedFlags:
+    """The report subcommands share one scenario parent (--seed,
+    --shards) and one output parent (--format, --out)."""
+
+    @pytest.mark.parametrize(
+        "command", ["resilience", "parallel", "obs", "city"]
+    )
+    def test_shared_flags_parse_everywhere(self, command):
+        parsed = build_parser().parse_args(
+            [command, "--seed", "13", "--shards", "2",
+             "--format", "json", "--out", "/tmp/r.json"]
+        )
+        assert parsed.seed == 13
+        assert parsed.shards == 2
+        assert parsed.format == "json"
+        assert parsed.out == "/tmp/r.json"
+
+    def test_parallel_workers_alias(self, capsys):
+        parsed = build_parser().parse_args(["parallel", "--workers", "3"])
+        assert parsed.shards == 3
+        err = capsys.readouterr().err
+        assert "deprecated" in err
+        assert "--shards" in err
+
+    def test_obs_json_alias(self, capsys):
+        parsed = build_parser().parse_args(["obs", "--json", "/tmp/o.json"])
+        assert parsed.out == "/tmp/o.json"
+        err = capsys.readouterr().err
+        assert "deprecated" in err
+        assert "--out" in err
+
+
+class TestCityCommand:
+    def test_city_report_json_and_out(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "city.json"
+        assert main(
+            ["city", "--scale", "0.01", "--duration", "300",
+             "--shards", "2", "--rebalance-every", "2",
+             "--format", "json", "--out", str(out_path)]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(out_path.read_text())
+        assert payload["shards"] == 2
+        assert payload["digest_signature"]
+
+    def test_city_markdown_default(self, capsys):
+        assert main(["city", "--scale", "0.01", "--duration", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "city" in out.lower()

@@ -1,16 +1,14 @@
-"""The scenario builder, its presets, and the legacy-config shim.
+"""The scenario builder and its presets.
 
 The redesign contract: fault-free ``ScenarioBuilder`` runs are
-bit-identical to the deprecated ``ScenarioConfig`` path, and the
-shim keeps working (with a ``DeprecationWarning``) so downstream
-callers migrate on their own schedule.
+bit-identical to direct ``ScenarioSpec`` construction, so fluent and
+explicit callers share one code path.
 """
 
 import pytest
 
 from repro.core import (
     ScenarioBuilder,
-    ScenarioConfig,
     ScenarioSpec,
     TestbedScenario,
     paper_corridor,
@@ -31,28 +29,6 @@ def make_profile():
     return FaultProfile(
         "p", (BurstLoss("rsu-mw-1", at_s=1.0, duration_s=0.5),)
     )
-
-
-class TestDeprecatedShim:
-    def test_scenario_config_warns(self):
-        with pytest.warns(DeprecationWarning, match="builder"):
-            config = ScenarioConfig(n_vehicles=4)
-        assert isinstance(config, ScenarioSpec)
-        assert config.n_vehicles == 4
-
-    def test_shim_keeps_spec_defaults_and_validation(self):
-        import dataclasses
-
-        with pytest.warns(DeprecationWarning):
-            config = ScenarioConfig()
-        # dataclass equality is class-strict; the shim's contract is
-        # field-for-field identity with the spec defaults.
-        assert dataclasses.asdict(config) == dataclasses.asdict(
-            ScenarioSpec()
-        )
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError):
-                ScenarioConfig(n_vehicles=0)
 
 
 class TestBuilder:
@@ -154,11 +130,10 @@ class TestPresets:
 
 
 class TestGoldenEquivalence:
-    """Fault-free builder runs replay the legacy path bit for bit."""
+    """Fault-free builder runs replay explicit-spec runs bit for bit."""
 
     def test_single_rsu_run_is_bit_identical(self, training_dataset):
-        with pytest.warns(DeprecationWarning):
-            config = ScenarioConfig(n_vehicles=4, duration_s=1.5)
+        config = ScenarioSpec(n_vehicles=4, duration_s=1.5)
         legacy = TestbedScenario.single_rsu(
             config, dataset=training_dataset
         ).run()
@@ -177,13 +152,12 @@ class TestGoldenEquivalence:
             )
 
     def test_corridor_run_is_bit_identical(self, training_dataset):
-        with pytest.warns(DeprecationWarning):
-            config = ScenarioConfig(
-                n_vehicles=4,
-                duration_s=1.5,
-                handover_fraction=0.5,
-                serde_profile="struct",
-            )
+        config = ScenarioSpec(
+            n_vehicles=4,
+            duration_s=1.5,
+            handover_fraction=0.5,
+            serde_profile="struct",
+        )
         legacy = TestbedScenario.corridor(
             config, motorways=2, dataset=training_dataset
         ).run()

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.core import ScenarioConfig, TestbedScenario
+from repro.core import ScenarioSpec, TestbedScenario
 from repro.core.system import default_training_dataset
 
 
@@ -15,7 +15,7 @@ def training_dataset():
 
 @pytest.fixture(scope="module")
 def chain_result(training_dataset):
-    config = ScenarioConfig(n_vehicles=12, duration_s=6.0, seed=5)
+    config = ScenarioSpec(n_vehicles=12, duration_s=6.0, seed=5)
     scenario = TestbedScenario.chain(config, hops=3, dataset=training_dataset)
     return scenario, scenario.run()
 
@@ -55,7 +55,7 @@ class TestChainScenario:
     def test_validation(self, training_dataset):
         with pytest.raises(ValueError):
             TestbedScenario.chain(
-                ScenarioConfig(n_vehicles=2, duration_s=1.0),
+                ScenarioSpec(n_vehicles=2, duration_s=1.0),
                 hops=1,
                 dataset=training_dataset,
             )

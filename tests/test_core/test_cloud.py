@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import ScenarioConfig, TestbedScenario
+from repro.core import ScenarioSpec, TestbedScenario
 from repro.core.cloud import CloudProfile, CloudRelayRsu
 from repro.core.detector import AD3Detector
 from repro.core.system import default_training_dataset
@@ -51,7 +51,7 @@ class TestCloudRelayRsu:
             assert event.detected_at - event.arrived_at >= 0.24
 
     def test_scenario_latency_in_paper_regime(self, training_dataset):
-        config = ScenarioConfig(n_vehicles=16, duration_s=3.0, seed=7)
+        config = ScenarioSpec(n_vehicles=16, duration_s=3.0, seed=7)
         result = TestbedScenario.single_rsu_cloud(
             config, dataset=training_dataset
         ).run()
@@ -59,7 +59,7 @@ class TestCloudRelayRsu:
 
     def test_faster_cloud_is_faster(self, training_dataset):
         def run(profile):
-            config = ScenarioConfig(n_vehicles=8, duration_s=2.0, seed=7)
+            config = ScenarioSpec(n_vehicles=8, duration_s=2.0, seed=7)
             return (
                 TestbedScenario.single_rsu_cloud(
                     config, dataset=training_dataset, cloud=profile

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ScenarioConfig, TestbedScenario
+from repro.core import ScenarioSpec, TestbedScenario
 from repro.core.system import default_training_dataset
 from repro.geo import RoadType
 
@@ -14,7 +14,7 @@ def training_dataset():
 
 class TestRsuFailure:
     def test_failed_rsu_stops_detecting(self, training_dataset):
-        config = ScenarioConfig(n_vehicles=8, duration_s=3.0, seed=5)
+        config = ScenarioSpec(n_vehicles=8, duration_s=3.0, seed=5)
         scenario = TestbedScenario.single_rsu(config, dataset=training_dataset)
         rsu = scenario.rsus["rsu-motorway"]
         scenario.sim.at(1.5, rsu.fail)
@@ -24,7 +24,7 @@ class TestRsuFailure:
         assert all(e.detected_at <= 1.6 for e in rsu.events)
 
     def test_failed_rsu_refuses_handover(self, training_dataset):
-        config = ScenarioConfig(n_vehicles=8, duration_s=2.0, seed=5)
+        config = ScenarioSpec(n_vehicles=8, duration_s=2.0, seed=5)
         scenario = TestbedScenario.corridor(
             config, motorways=2, dataset=training_dataset
         )
@@ -35,7 +35,7 @@ class TestRsuFailure:
         assert rsu.handover(1, "rsu-mw-link") is False
 
     def test_failover_rehomes_vehicles(self, training_dataset):
-        config = ScenarioConfig(n_vehicles=8, duration_s=4.0, seed=5)
+        config = ScenarioSpec(n_vehicles=8, duration_s=4.0, seed=5)
         scenario = TestbedScenario.corridor(
             config, motorways=2, dataset=training_dataset
         )
@@ -56,7 +56,7 @@ class TestRsuFailure:
         assert any(e.detected_at > 3.0 for e in fallback.events)
 
     def test_failover_to_self_rejected(self, training_dataset):
-        config = ScenarioConfig(n_vehicles=4, duration_s=1.0, seed=5)
+        config = ScenarioSpec(n_vehicles=4, duration_s=1.0, seed=5)
         scenario = TestbedScenario.corridor(
             config, motorways=2, dataset=training_dataset
         )
@@ -65,7 +65,7 @@ class TestRsuFailure:
 
     def test_warnings_continue_after_failover(self, training_dataset):
         """End-to-end resilience: drivers keep receiving warnings."""
-        config = ScenarioConfig(n_vehicles=16, duration_s=4.0, seed=5)
+        config = ScenarioSpec(n_vehicles=16, duration_s=4.0, seed=5)
         scenario = TestbedScenario.corridor(
             config, motorways=2, dataset=training_dataset
         )

@@ -16,11 +16,12 @@ columnar refactor.
 
 import pytest
 
-from repro.core.system import ScenarioConfig, TestbedScenario
+from repro.core.scenario import ScenarioSpec
+from repro.core.system import TestbedScenario
 
 
 def _run_corridor(dataset, dataplane, serde_profile, handover_fraction=0.0):
-    config = ScenarioConfig(
+    config = ScenarioSpec(
         n_vehicles=4,
         duration_s=2.0,
         seed=7,
@@ -130,6 +131,6 @@ def test_batched_dataplane_survives_handover(labeled_dataset):
 def test_batched_dataplane_rejects_unsupported_configs():
     """The batched plane is explicit about what it does not model."""
     with pytest.raises(ValueError, match="batched dataplane"):
-        ScenarioConfig(n_vehicles=2, duration_s=1.0, dataplane="batched", shards=2)
+        ScenarioSpec(n_vehicles=2, duration_s=1.0, dataplane="batched", shards=2)
     with pytest.raises(ValueError, match="unknown dataplane"):
-        ScenarioConfig(n_vehicles=2, duration_s=1.0, dataplane="turbo")
+        ScenarioSpec(n_vehicles=2, duration_s=1.0, dataplane="turbo")

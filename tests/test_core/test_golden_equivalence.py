@@ -16,7 +16,8 @@ from repro.core.collaborative import CollaborativeDetector
 from repro.core.detector import AD3Detector
 from repro.core.online import OnlineAD3Detector
 from repro.core.rsu import DetectionEvent
-from repro.core.system import ScenarioConfig, TestbedScenario
+from repro.core.scenario import ScenarioSpec
+from repro.core.system import TestbedScenario
 from repro.geo.roadnet import RoadType
 
 
@@ -141,7 +142,7 @@ def test_event_log_matches_list_semantics():
 # Full-scenario equivalence (the golden test)
 # ----------------------------------------------------------------------
 def _run_corridor(dataset, columnar, serde_profile):
-    config = ScenarioConfig(
+    config = ScenarioSpec(
         n_vehicles=4,
         duration_s=2.0,
         seed=7,
@@ -254,7 +255,7 @@ def test_warning_threshold_streak_equivalence(labeled_dataset):
 
     results = {}
     for columnar in (False, True):
-        config = ScenarioConfig(
+        config = ScenarioSpec(
             n_vehicles=6, duration_s=2.0, seed=11, columnar=columnar
         )
         scenario = TestbedScenario.single_rsu(config, dataset=labeled_dataset)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import ScenarioConfig, TestbedScenario
+from repro.core import ScenarioSpec, TestbedScenario
 from repro.core.system import default_training_dataset
 
 
@@ -14,19 +14,19 @@ def training_dataset():
 
 @pytest.fixture(scope="module")
 def small_single_result(training_dataset):
-    config = ScenarioConfig(n_vehicles=16, duration_s=3.0, seed=7)
+    config = ScenarioSpec(n_vehicles=16, duration_s=3.0, seed=7)
     scenario = TestbedScenario.single_rsu(config, dataset=training_dataset)
     return scenario.run()
 
 
-class TestScenarioConfig:
+class TestScenarioSpec:
     def test_validation(self):
         with pytest.raises(ValueError):
-            ScenarioConfig(n_vehicles=0)
+            ScenarioSpec(n_vehicles=0)
         with pytest.raises(ValueError):
-            ScenarioConfig(duration_s=0.0)
+            ScenarioSpec(duration_s=0.0)
         with pytest.raises(ValueError):
-            ScenarioConfig(handover_fraction=1.5)
+            ScenarioSpec(handover_fraction=1.5)
 
 
 class TestSingleRsu:
@@ -63,7 +63,7 @@ class TestSingleRsu:
 
     def test_deterministic_given_seed(self, training_dataset):
         def run():
-            config = ScenarioConfig(n_vehicles=8, duration_s=2.0, seed=99)
+            config = ScenarioSpec(n_vehicles=8, duration_s=2.0, seed=99)
             return TestbedScenario.single_rsu(
                 config, dataset=training_dataset
             ).run()
@@ -76,7 +76,7 @@ class TestSingleRsu:
         """Fig. 6a shape: 8 -> 64 vehicles adds only a few ms."""
 
         def mean_e2e(n):
-            config = ScenarioConfig(n_vehicles=n, duration_s=3.0, seed=7)
+            config = ScenarioSpec(n_vehicles=n, duration_s=3.0, seed=7)
             return (
                 TestbedScenario.single_rsu(config, dataset=training_dataset)
                 .run()
@@ -91,7 +91,7 @@ class TestSingleRsu:
 class TestCorridor:
     @pytest.fixture(scope="class")
     def corridor_result(self, training_dataset):
-        config = ScenarioConfig(
+        config = ScenarioSpec(
             n_vehicles=16, duration_s=3.0, seed=7, handover_fraction=0.25
         )
         scenario = TestbedScenario.corridor(
@@ -129,3 +129,70 @@ class TestCorridor:
     def test_bandwidth_far_below_dsrc_limit(self, corridor_result):
         for metrics in corridor_result.rsu_metrics.values():
             assert metrics.bandwidth_in_bps < 27e6
+
+
+class TestTripChurn:
+    """Mid-run spawn/retire: the building blocks the city workload's
+    trip-churn model maps onto at testbed scale."""
+
+    @pytest.fixture(scope="class")
+    def churn_result(self, training_dataset):
+        from repro.geo import RoadType
+
+        config = ScenarioSpec(n_vehicles=4, duration_s=3.0, seed=7)
+        scenario = TestbedScenario.single_rsu(
+            config, dataset=training_dataset
+        )
+        _, replay = TestbedScenario._train_replay_split(training_dataset)
+        records = [r for r in replay if r.road_type is RoadType.MOTORWAY]
+        scenario.spawn_vehicles(
+            "rsu-motorway", 2, at_s=1.0, records=records
+        )
+        scenario.schedule_retire([1, 2], at_s=1.5)
+        result = scenario.run()
+        return scenario, result
+
+    def test_spawned_vehicles_join_and_report(self, churn_result):
+        scenario, result = churn_result
+        # Ids 5 and 6 are assigned when the spawn fires, after the
+        # four build-time vehicles (ids start at 1).
+        assert set(result.vehicle_stats) == {1, 2, 3, 4, 5, 6}
+        for car_id in (5, 6):
+            assert result.vehicle_stats[car_id].records_sent > 0
+
+    def test_retired_vehicles_stop_producing(self, churn_result):
+        scenario, result = churn_result
+        by_id = {v.car_id: v for v in scenario.vehicles}
+        assert by_id[1].retired and by_id[2].retired
+        assert not by_id[3].retired
+        # Retired at 1.5 s of 3.0 s: roughly half the sends of a
+        # vehicle that ran the full scenario.
+        assert (
+            result.vehicle_stats[1].records_sent
+            < result.vehicle_stats[3].records_sent
+        )
+
+    def test_late_spawn_sends_less_than_full_run(self, churn_result):
+        _, result = churn_result
+        # Spawned at 1.0 s, so it had 2/3 of the runtime.
+        assert (
+            result.vehicle_stats[5].records_sent
+            < result.vehicle_stats[3].records_sent
+        )
+
+    def test_retire_unknown_id_raises(self, training_dataset):
+        config = ScenarioSpec(n_vehicles=2, duration_s=1.0, seed=7)
+        scenario = TestbedScenario.single_rsu(
+            config, dataset=training_dataset
+        )
+        scenario.schedule_retire([99], at_s=0.5)
+        with pytest.raises(KeyError):
+            scenario.run()
+
+    def test_spawn_count_validated(self, training_dataset):
+        config = ScenarioSpec(n_vehicles=2, duration_s=1.0, seed=7)
+        scenario = TestbedScenario.single_rsu(
+            config, dataset=training_dataset
+        )
+        with pytest.raises(ValueError):
+            scenario.spawn_vehicles("rsu-motorway", 0, at_s=0.5, records=[])

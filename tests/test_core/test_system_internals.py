@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ScenarioConfig, TestbedScenario
+from repro.core import ScenarioSpec, TestbedScenario
 from repro.core.detector import AD3Detector
 from repro.core.system import default_training_dataset
 from repro.geo import RoadType
@@ -23,7 +23,7 @@ class TestConstruction:
     def test_add_vehicles_stripes_records(
         self, training_dataset, motorway_detector
     ):
-        scenario = TestbedScenario(ScenarioConfig(n_vehicles=4, duration_s=1.0))
+        scenario = TestbedScenario(ScenarioSpec(n_vehicles=4, duration_s=1.0))
         scenario.add_rsu("rsu", motorway_detector)
         records = training_dataset.by_road_type(RoadType.MOTORWAY)[:40]
         vehicles = scenario.add_vehicles("rsu", 4, records)
@@ -33,7 +33,7 @@ class TestConstruction:
         assert ids == sorted(set(ids))
 
     def test_add_vehicles_empty_pool_rejected(self, motorway_detector):
-        scenario = TestbedScenario(ScenarioConfig(n_vehicles=1, duration_s=1.0))
+        scenario = TestbedScenario(ScenarioSpec(n_vehicles=1, duration_s=1.0))
         scenario.add_rsu("rsu", motorway_detector)
         with pytest.raises(ValueError):
             scenario.add_vehicles("rsu", 2, [])
@@ -41,7 +41,7 @@ class TestConstruction:
     def test_htb_leaves_created_per_vehicle(
         self, training_dataset, motorway_detector
     ):
-        scenario = TestbedScenario(ScenarioConfig(n_vehicles=3, duration_s=1.0))
+        scenario = TestbedScenario(ScenarioSpec(n_vehicles=3, duration_s=1.0))
         scenario.add_rsu("rsu", motorway_detector)
         records = training_dataset.by_road_type(RoadType.MOTORWAY)[:30]
         vehicles = scenario.add_vehicles("rsu", 3, records)
@@ -51,7 +51,7 @@ class TestConstruction:
 
     def test_htb_disabled(self, training_dataset, motorway_detector):
         scenario = TestbedScenario(
-            ScenarioConfig(n_vehicles=2, duration_s=1.0, use_htb=False)
+            ScenarioSpec(n_vehicles=2, duration_s=1.0, use_htb=False)
         )
         scenario.add_rsu("rsu", motorway_detector)
         records = training_dataset.by_road_type(RoadType.MOTORWAY)[:20]
@@ -62,7 +62,7 @@ class TestConstruction:
     def test_corridor_link_detector_kind_validated(self, training_dataset):
         with pytest.raises(ValueError):
             TestbedScenario.corridor(
-                ScenarioConfig(n_vehicles=2, duration_s=1.0),
+                ScenarioSpec(n_vehicles=2, duration_s=1.0),
                 dataset=training_dataset,
                 link_detector_kind="psychic",
             )
@@ -71,7 +71,7 @@ class TestConstruction:
         """Vehicles must replay the 20 % test split, not training data
         (the paper's online-testing protocol)."""
         scenario = TestbedScenario.single_rsu(
-            ScenarioConfig(n_vehicles=4, duration_s=1.0),
+            ScenarioSpec(n_vehicles=4, duration_s=1.0),
             dataset=training_dataset,
         )
         train, replay = TestbedScenario._train_replay_split(training_dataset)
@@ -87,7 +87,7 @@ class TestConstruction:
 class TestRunSemantics:
     def test_result_detection_report_present(self, training_dataset):
         scenario = TestbedScenario.single_rsu(
-            ScenarioConfig(n_vehicles=8, duration_s=2.0, seed=3),
+            ScenarioSpec(n_vehicles=8, duration_s=2.0, seed=3),
             dataset=training_dataset,
         )
         result = scenario.run()
@@ -99,7 +99,7 @@ class TestRunSemantics:
     def test_two_runs_same_seed_identical_reports(self, training_dataset):
         def run():
             scenario = TestbedScenario.single_rsu(
-                ScenarioConfig(n_vehicles=8, duration_s=2.0, seed=3),
+                ScenarioSpec(n_vehicles=8, duration_s=2.0, seed=3),
                 dataset=training_dataset,
             )
             return scenario.run().rsu_metrics["rsu-motorway"].detection

@@ -96,6 +96,24 @@ class TestRsuPlacementPlanner:
         with pytest.raises(ValueError):
             RsuPlacementPlanner(vehicles_per_rsu=0)
 
+    def test_allocation_scales_with_length_not_density(self):
+        # RSU counts follow road length / spacing (Table V's one-per-km
+        # rule); the density share is carried through untouched so the
+        # city layer can weight per-RSU demand by it.
+        network = build_network(
+            {RoadType.MOTORWAY: [4000.0], RoadType.TRUNK: [2000.0]}
+        )
+        plan = RsuPlacementPlanner().plan(
+            network, {RoadType.MOTORWAY: 0.2, RoadType.TRUNK: 0.4}
+        )
+        assert plan.row(RoadType.MOTORWAY).rsus_required == pytest.approx(
+            4, abs=1
+        )
+        assert plan.row(RoadType.TRUNK).rsus_required == pytest.approx(
+            2, abs=1
+        )
+        assert plan.row(RoadType.TRUNK).traffic_density == 0.4
+
     def test_format_table(self):
         network = build_network({RoadType.MOTORWAY: [2000.0]})
         plan = RsuPlacementPlanner().plan(network, {RoadType.MOTORWAY: 0.077})

@@ -70,3 +70,73 @@ class TestShardPlanner:
         plan = ShardPlanner().plan(_topology(), 2)
         with pytest.raises(KeyError):
             plan.shard_of("rsu-nope")
+
+
+class TestRebalance:
+    """Load-aware RSU migration between shards (pure decisions)."""
+
+    def test_skew_triggers_migration_toward_light_shard(self):
+        assignments = [["a", "b", "c"], ["d"]]
+        loads = {"a": 100.0, "b": 90.0, "c": 80.0, "d": 10.0}
+        decisions = ShardPlanner().rebalance(assignments, loads)
+        assert decisions
+        for decision in decisions:
+            assert decision.from_shard == 0
+            assert decision.to_shard == 1
+            assert decision.rsu in assignments[0]
+
+    def test_balanced_loads_are_left_alone(self):
+        assignments = [["a", "b"], ["c", "d"]]
+        loads = {"a": 50.0, "b": 51.0, "c": 49.0, "d": 50.0}
+        assert ShardPlanner().rebalance(assignments, loads) == []
+
+    def test_never_empties_a_shard(self):
+        decisions = ShardPlanner().rebalance(
+            [["a"], ["b"]], {"a": 1000.0, "b": 1.0}
+        )
+        assert decisions == []
+
+    def test_moves_reduce_imbalance(self):
+        assignments = [["a", "b", "c", "d"], ["e", "f"]]
+        loads = {
+            "a": 60.0, "b": 55.0, "c": 50.0, "d": 45.0,
+            "e": 10.0, "f": 5.0,
+        }
+
+        def spread(plan):
+            shard_loads = [
+                sum(loads[name] for name in names) for names in plan
+            ]
+            return max(shard_loads) - min(shard_loads)
+
+        before = [list(names) for names in assignments]
+        decisions = ShardPlanner().rebalance(assignments, loads)
+        assert decisions
+        after = [list(names) for names in before]
+        for decision in decisions:
+            after[decision.from_shard].remove(decision.rsu)
+            after[decision.to_shard].append(decision.rsu)
+        assert spread(after) < spread(before)
+
+    def test_deterministic(self):
+        assignments = (("a", "b", "c"), ("d",))
+        loads = {"a": 40.0, "b": 40.0, "c": 40.0, "d": 0.0}
+        first = ShardPlanner().rebalance(assignments, loads)
+        second = ShardPlanner().rebalance(assignments, loads)
+        assert first == second
+
+    def test_single_shard_is_a_no_op(self):
+        assert ShardPlanner().rebalance([["a", "b"]], {"a": 9.0}) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ShardPlanner().rebalance([["a"], ["b"]], {}, threshold=-0.5)
+
+    def test_max_moves_caps_decisions(self):
+        assignments = [["a", "b", "c", "d", "e"], ["f"]]
+        loads = {name: 50.0 for name in "abcde"}
+        loads["f"] = 0.0
+        decisions = ShardPlanner().rebalance(
+            assignments, loads, max_moves=1
+        )
+        assert len(decisions) <= 1

@@ -255,6 +255,89 @@ class TestDynamicMembership:
         ]
 
 
+class TestIndexedBucket:
+    """Churn-scale buckets: many phase-split groups on one interval."""
+
+    def test_bucket_converts_past_threshold_and_still_coalesces(self):
+        from repro.simkernel.simulator import INDEX_THRESHOLD
+
+        sim = Simulator()
+        fired = []
+        n = INDEX_THRESHOLD + 4
+        for k in range(n):
+            start = 0.1 + k * 0.001  # distinct phases: one group each
+            sim.every_group(
+                1.0, lambda k=k: fired.append(k), start=start, until=1.0
+            )
+        bucket = sim._groups[1.0]
+        assert bucket.by_time is not None
+        assert bucket.groups == []
+        assert len(bucket) == n
+        # A registration phase-aligned with an indexed group must still
+        # coalesce into it rather than spawn a duplicate.
+        sim.every_group(
+            1.0, lambda: fired.append("joined"), start=0.1, until=1.0
+        )
+        assert len(bucket) == n
+        sim.run()
+        assert fired[:2] == [0, "joined"]
+        assert [f for f in fired if f != "joined"] == list(range(n))
+
+    def test_indexed_bucket_drains_as_groups_finish(self):
+        from repro.simkernel.simulator import INDEX_THRESHOLD
+
+        sim = Simulator()
+        n = INDEX_THRESHOLD + 2
+        for k in range(n):
+            sim.every_group(
+                1.0, lambda: None, start=0.1 + k * 0.001, until=1.0
+            )
+        assert sim._groups[1.0].by_time is not None
+        sim.run()
+        # Every group fired its last tick and deregistered; the empty
+        # bucket itself is dropped from the interval registry.
+        assert 1.0 not in sim._groups
+
+    def test_cancel_removes_indexed_entry(self):
+        from repro.simkernel.simulator import INDEX_THRESHOLD
+
+        sim = Simulator()
+        handles = []
+        n = INDEX_THRESHOLD + 2
+        for k in range(n):
+            handles.append(
+                sim.every_group(1.0, lambda: None, start=0.1 + k * 0.001)
+            )
+        bucket = sim._groups[1.0]
+        assert bucket.by_time is not None
+        for handle in handles:
+            handle.cancel()
+        assert 1.0 not in sim._groups
+
+    def test_reschedule_keeps_index_consistent(self):
+        from repro.simkernel.simulator import INDEX_THRESHOLD
+
+        sim = Simulator()
+        fired = []
+        n = INDEX_THRESHOLD + 2
+        for k in range(n):
+            sim.every_group(
+                0.5,
+                lambda k=k: fired.append((k, round(sim.now, 6))),
+                start=0.1 + k * 0.01,
+                until=2.0,
+            )
+        sim.run()
+        bucket_absent = 0.5 not in sim._groups
+        assert bucket_absent
+        # Each recurrence fired its full grid — a stale index entry
+        # after a reschedule would have dropped or duplicated ticks.
+        for k in range(n):
+            ticks = [t for kk, t in fired if kk == k]
+            assert len(ticks) == 4  # 0.1+δ, 0.6+δ, 1.1+δ, 1.6+δ
+            assert ticks == sorted(ticks)
+
+
 INTERVALS = (0.01, 0.05, 0.1, 0.25)
 PHASES = (0.0, 0.005, 0.01, 0.05, 0.1)
 

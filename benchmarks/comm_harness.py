@@ -1,0 +1,278 @@
+#!/usr/bin/env python
+"""CO-DATA comm-budget benchmark: bytes/frame vs detection accuracy.
+
+Runs :func:`repro.experiments.collab_budget.collab_budget_sweep` — the
+5-RSU corridor at a send-everything refresh baseline plus a ladder of
+utility-gated, delta-encoded, priority-scheduled budget points — and
+gates on the Pareto knee:
+
+- the knee must cut CO-DATA bytes/frame by at least the gate ratio
+  (>= 5x in full mode) relative to the send-all baseline;
+- the knee's link-RSU detection accuracy must stay within the accuracy
+  budget (<= 0.5 pp in full mode) of the baseline;
+- the frontier must carry at least ``MIN_PARETO_POINTS`` gated points;
+- every point's conservation-law audit must be green;
+- with the plane *disabled*, behaviour must be bit-identical to a run
+  with no collab config at all — same digest over every counter and
+  latency, in both the per-event and batched data planes.
+
+The simulation is deterministic, so every gated number (bytes, gated
+counts, accuracy, digests) is exactly reproducible — the gates carry no
+noise margin, unlike the wall-clock benches.
+
+Writes ``BENCH_7.json``; in full mode the artifact embeds the
+smoke-sized section so CI (which runs ``--smoke``) regression-checks
+like against like, as BENCH_6 does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Issue acceptance: >= 5x fewer CO-DATA bytes/frame at <= 0.5 pp
+#: accuracy loss on the full corridor sweep.  Deterministic run, so the
+#: floors are the targets themselves.
+FULL_RATIO_FLOOR = 5.0
+FULL_ACCURACY_BUDGET_PP = 0.5
+SMOKE_RATIO_FLOOR = 2.5
+SMOKE_ACCURACY_BUDGET_PP = 1.0
+MIN_PARETO_POINTS = 5
+
+FULL_SIZES = {"vehicles_per_rsu": 24, "duration_s": 12.0, "seed": 7}
+SMOKE_SIZES = {"vehicles_per_rsu": 12, "duration_s": 6.0, "seed": 7}
+
+SMOKE_BUDGETS = (
+    ("tau=0.15", 0.15, None),
+    ("tau=0.30", 0.30, None),
+    ("tau=0.30/silence=3s", 0.30, 3.0),
+    ("tau=0.60/silence=3s", 0.60, 3.0),
+    ("tau=1.00/silence=4s", 1.00, 4.0),
+)
+
+
+def _signature(result) -> str:
+    """Exact-behaviour digest (same fields as the BENCH_5 harness):
+    every per-vehicle counter and latency at full float repr, plus
+    per-RSU warning/event/summary counts."""
+    vehicles = tuple(
+        (
+            car,
+            stats.records_sent,
+            stats.bytes_sent,
+            stats.warnings_received,
+            stats.records_lost,
+            stats.poll_failures,
+            tuple(stats.e2e_latencies_s),
+            tuple(stats.dissemination_latencies_s),
+        )
+        for car, stats in sorted(result.vehicle_stats.items())
+    )
+    rsus = tuple(
+        (
+            name,
+            metrics.warnings_issued,
+            metrics.n_events,
+            metrics.summaries_sent,
+            metrics.summaries_received,
+        )
+        for name, metrics in sorted(result.rsu_metrics.items())
+    )
+    return hashlib.sha256(repr((vehicles, rsus)).encode()).hexdigest()
+
+
+def check_disabled_equivalence(sizes: dict, dataset) -> dict:
+    """A disabled plane must leave the seed path untouched: compare the
+    digest of a run with no collab config against one carrying a
+    config whose every adaptive feature is off, per data plane."""
+    from repro.core.collab import CollabConfig
+    from repro.core.system import TestbedScenario
+
+    digests = {}
+    for dataplane in ("event", "batched"):
+        pair = {}
+        for variant, collab in (("none", None), ("disabled", CollabConfig())):
+            builder = (
+                TestbedScenario.builder()
+                .vehicles(sizes["vehicles_per_rsu"])
+                .duration(sizes["duration_s"])
+                .seed(sizes["seed"])
+                .handover(0.25)
+                .dataplane(dataplane)
+            )
+            if collab is not None:
+                builder = builder.collab(collab)
+            scenario = builder.corridor(motorways=4, dataset=dataset)
+            pair[variant] = _signature(scenario.run())
+        digests[dataplane] = pair
+    identical = all(
+        pair["none"] == pair["disabled"] for pair in digests.values()
+    )
+    return {"digests": digests, "identical": identical}
+
+
+def run_section(
+    sizes: dict,
+    budgets,
+    ratio_floor: float,
+    accuracy_budget_pp: float,
+) -> dict:
+    from repro.core.system import default_training_dataset
+    from repro.experiments.collab_budget import collab_budget_sweep
+
+    dataset = default_training_dataset(seed=11, n_cars=40)
+    sweep = collab_budget_sweep(
+        n_vehicles_per_rsu=sizes["vehicles_per_rsu"],
+        duration_s=sizes["duration_s"],
+        seed=sizes["seed"],
+        budgets=budgets,
+        accuracy_budget_pp=accuracy_budget_pp,
+        dataset=dataset,
+    )
+    print("  disabled-plane equivalence (event + batched)...")
+    equivalence = check_disabled_equivalence(sizes, dataset)
+
+    reduction = sweep.knee_byte_reduction
+    loss_pp = sweep.knee_accuracy_loss_pp
+    n_gated_points = len(sweep.points) - 1
+
+    failures = []
+    if reduction < ratio_floor:
+        failures.append(
+            f"knee byte reduction {reduction:.2f}x < {ratio_floor}x floor"
+        )
+    if loss_pp > accuracy_budget_pp:
+        failures.append(
+            f"knee accuracy loss {loss_pp:.2f} pp > "
+            f"{accuracy_budget_pp} pp budget"
+        )
+    if n_gated_points < MIN_PARETO_POINTS:
+        failures.append(
+            f"only {n_gated_points} gated Pareto points < "
+            f"{MIN_PARETO_POINTS} required"
+        )
+    if not sweep.audits_ok:
+        bad = [p.label for p in sweep.points if not p.audit_ok]
+        failures.append(f"conservation audit failed at: {', '.join(bad)}")
+    if not equivalence["identical"]:
+        failures.append(
+            "disabled collab plane diverged from the no-config path"
+        )
+
+    baseline = sweep.baseline
+    knee = sweep.knee
+    return {
+        "sizes": dict(sizes),
+        "sweep": sweep.to_dict(),
+        "equivalence": equivalence,
+        "baseline_bytes_per_frame": round(baseline.bytes_per_frame, 4),
+        "knee_bytes_per_frame": round(knee.bytes_per_frame, 4),
+        "knee_label": knee.label,
+        "byte_reduction": round(reduction, 3),
+        "accuracy_loss_pp": round(loss_pp, 4),
+        "n_pareto_points": n_gated_points,
+        "ratio_floor": ratio_floor,
+        "accuracy_budget_pp": accuracy_budget_pp,
+        "regression_metrics": {
+            "comm_bytes_per_frame_ratio": round(reduction, 3),
+            "pareto_knee_accuracy_ratio": round(
+                knee.link_accuracy / baseline.link_accuracy, 6
+            )
+            if baseline.link_accuracy
+            else 1.0,
+        },
+        "failures": failures,
+        "pass": not failures,
+    }
+
+
+def main(argv=None) -> int:
+    from repro.experiments.collab_budget import DEFAULT_BUDGETS
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller workload for CI (same gates, relaxed floors)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_7.json",
+        help="output path (default: repo-root BENCH_7.json)",
+    )
+    args = parser.parse_args(argv)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    start = time.perf_counter()
+
+    mode = "smoke" if args.smoke else "full"
+    print(f"comm harness ({mode} mode)")
+    if args.smoke:
+        print(
+            f"  corridor sweep: {SMOKE_SIZES['vehicles_per_rsu'] * 5} "
+            f"vehicles, {SMOKE_SIZES['duration_s']}s, "
+            f"{len(SMOKE_BUDGETS)} budget points..."
+        )
+        sections = {
+            "smoke": run_section(
+                SMOKE_SIZES,
+                SMOKE_BUDGETS,
+                SMOKE_RATIO_FLOOR,
+                SMOKE_ACCURACY_BUDGET_PP,
+            )
+        }
+    else:
+        print(
+            f"  corridor sweep: {FULL_SIZES['vehicles_per_rsu'] * 5} "
+            f"vehicles, {FULL_SIZES['duration_s']}s, "
+            f"{len(DEFAULT_BUDGETS)} budget points..."
+        )
+        full = run_section(
+            FULL_SIZES,
+            DEFAULT_BUDGETS,
+            FULL_RATIO_FLOOR,
+            FULL_ACCURACY_BUDGET_PP,
+        )
+        print("  smoke-sized reference run (for CI regression baseline)...")
+        smoke = run_section(
+            SMOKE_SIZES,
+            SMOKE_BUDGETS,
+            SMOKE_RATIO_FLOOR,
+            SMOKE_ACCURACY_BUDGET_PP,
+        )
+        sections = {"full": full, "smoke": smoke}
+
+    out = {
+        "bench": "BENCH_7",
+        "mode": mode,
+        **sections,
+        "wall_s": round(time.perf_counter() - start, 2),
+        "pass": all(section["pass"] for section in sections.values()),
+    }
+    args.out.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not out["pass"]:
+        for section in sections.values():
+            for failure in section["failures"]:
+                print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    primary = sections.get("full") or sections["smoke"]
+    print(
+        f"PASS: knee {primary['knee_label']} — "
+        f"{primary['byte_reduction']}x fewer CO-DATA bytes/frame at "
+        f"{primary['accuracy_loss_pp']:+.2f} pp accuracy "
+        f"({primary['n_pareto_points']} Pareto points, audits green, "
+        f"disabled plane bit-identical)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,7 +60,7 @@ def apply_aliases(metrics: dict) -> dict:
 
 #: Benches whose artifacts carry per-mode sections (a full artifact
 #: embeds its smoke section so CI compares like against like).
-MODE_AWARE_BENCHES = ("BENCH_3", "BENCH_6")
+MODE_AWARE_BENCHES = ("BENCH_3", "BENCH_6", "BENCH_7")
 
 
 def _mode_section_metrics(report: dict, mode: str) -> dict:

@@ -262,6 +262,26 @@ def _cmd_city(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_comm(args: argparse.Namespace) -> int:
+    from repro.experiments.collab_budget import collab_budget_sweep
+
+    if args.shards != 1:
+        print(
+            "repro comm: the comm-budget sweep audits live scenario "
+            "objects and is single-process; --shards must be 1",
+            file=sys.stderr,
+        )
+        return 2
+    report = collab_budget_sweep(
+        n_vehicles_per_rsu=args.vehicles,
+        duration_s=args.duration,
+        seed=args.seed,
+        accuracy_budget_pp=args.accuracy_budget,
+    )
+    _emit_report(args, report.format_markdown(), report.to_dict())
+    return 0 if report.audits_ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Markdown delta table: a fresh BENCH_*.json vs the committed
     baseline of the same bench id.
@@ -293,6 +313,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
     sys.path.insert(0, str(root))
     from benchmarks.regression_check import (
+        MODE_AWARE_BENCHES,
         apply_aliases,
         extract_metrics,
         extract_wall_seconds,
@@ -303,7 +324,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     bench = candidate.get("bench")
     mode = (
         candidate.get("mode", "full")
-        if bench in ("BENCH_3", "BENCH_6")
+        if bench in MODE_AWARE_BENCHES
         else "full"
     )
     candidate_metrics = apply_aliases(extract_metrics(candidate, mode))
@@ -459,15 +480,23 @@ class _DeprecatedAlias(argparse.Action):
     """A legacy flag spelling: warns on stderr, stores to the new dest.
 
     Registered with ``dest=<new flag's dest>`` so the handler code only
-    ever sees the canonical name.
+    ever sees the canonical name.  Each flag warns at most once per
+    invocation — a repeated ``--workers 2 --workers 3`` still parses
+    last-wins but doesn't repeat the nag.
     """
 
     def __call__(self, parser, namespace, values, option_string=None):
-        canonical = "--" + self.dest.replace("_", "-")
-        print(
-            f"warning: {option_string} is deprecated; use {canonical}",
-            file=sys.stderr,
-        )
+        warned = getattr(namespace, "_deprecated_warned", None)
+        if warned is None:
+            warned = set()
+            setattr(namespace, "_deprecated_warned", warned)
+        if option_string not in warned:
+            warned.add(option_string)
+            canonical = "--" + self.dest.replace("_", "-")
+            print(
+                f"warning: {option_string} is deprecated; use {canonical}",
+                file=sys.stderr,
+            )
         setattr(namespace, self.dest, values)
 
 
@@ -707,6 +736,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect metrics/span snapshots from the workers",
     )
     city.set_defaults(func=_cmd_city)
+
+    comm = commands.add_parser(
+        "comm",
+        help="CO-DATA comm-budget frontier: bytes/frame vs link accuracy "
+        "across gating thresholds",
+        parents=[scenario_parent, output_parent],
+    )
+    comm.add_argument(
+        "--vehicles", type=int, default=24, help="vehicles per RSU"
+    )
+    comm.add_argument(
+        "--duration", type=float, default=12.0, help="simulated seconds"
+    )
+    comm.add_argument(
+        "--accuracy-budget",
+        type=float,
+        default=0.5,
+        help="knee accuracy budget in percentage points",
+    )
+    comm.set_defaults(func=_cmd_comm)
 
     bench = commands.add_parser(
         "bench",

@@ -1,0 +1,327 @@
+"""The bandwidth-adaptive CO-DATA collaboration plane.
+
+The seed behaviour forwards one prediction summary per vehicle, once,
+at handover — CO-DATA cost scales with traffic, not with information.
+This module makes the summary stream a managed plane with three
+coordinated layers:
+
+1. **Utility gating** — before serializing, compute whether the delta
+   in the driver prior could materially shift the downstream RSU's
+   fused decision (:func:`~repro.core.collaborative.prior_logit_shift`
+   against the last value actually sent), with a staleness override so
+   silence toward a peer never exceeds the degradation budget.
+2. **Delta encoding** — per-``(peer, car)`` integer-unit baselines and
+   the compact changed-field frames of :mod:`repro.core.wire`
+   (:func:`~repro.core.wire.encode_summary_delta`), with full-summary
+   resync on first contact, epoch mismatch, loss, or handover.
+3. **Priority banding** — every send is classified decision-changing
+   (``urgent``) or staleness-driven (``refresh``), so the HTB shaper
+   can charge refresh traffic strictly after urgent frames
+   (:meth:`~repro.net.htb.HtbShaper.send_prioritized`).
+
+A default :class:`CollabConfig` is *disabled*: the RSU keeps the seed
+handover-only path bit-identical (the golden collab tests pin this).
+All metering here is plain attributes — the observability layer folds
+them at finalize, never a registry lookup on the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.collaborative import (
+    HISTORY_WEIGHT,
+    NEUTRAL_PRIOR,
+    prior_logit_shift,
+)
+from repro.core.features import PredictionSummary
+from repro.core.wire import (
+    P_UNIT,
+    SUMMARY_FULL,
+    SummaryFrame,
+    encode_summary_delta,
+    encode_summary_full,
+    apply_summary_delta,
+    quantize_summary,
+    summary_payload_from_units,
+)
+from repro.dataset.schema import ABNORMAL
+from repro.streaming.serde import Serde
+
+COLLAB_MODES = ("handover", "refresh")
+
+#: Priority bands: frames that can move the downstream decision vs
+#: keep-alive refreshes sent only to bound staleness.
+BAND_URGENT = "urgent"
+BAND_REFRESH = "refresh"
+
+
+@dataclass(frozen=True)
+class CollabConfig:
+    """Knobs of the bandwidth-adaptive CO-DATA plane.
+
+    The default instance is **disabled** (:attr:`enabled` is False):
+    handover-only forwarding, no gating, no framing — the seed
+    behaviour, bit for bit.
+    """
+
+    #: ``"handover"`` (seed: forward once at handover) or ``"refresh"``
+    #: (additionally re-announce per-car summaries downstream on a
+    #: fixed cadence, which is what gating then prunes).
+    mode: str = "handover"
+    #: Cadence of the refresh re-announcements.
+    refresh_interval_s: float = 0.5
+    #: Utility floor (downstream log-odds movement, see
+    #: :func:`~repro.core.collaborative.prior_logit_shift`) below which
+    #: a refresh is suppressed.  ``0.0`` sends everything — the
+    #: ungated baseline of the Pareto sweep.
+    gate_threshold: float = 0.0
+    #: Hard bound on per-peer silence: a summary older than this is
+    #: re-sent regardless of utility, so gating can never starve the
+    #: downstream's staleness/degradation logic.  ``None`` derives the
+    #: bound from the RSU's ``upstream_timeout_s`` (80 % of it) or,
+    #: without one, from the refresh cadence (4 intervals).
+    max_silence_s: Optional[float] = None
+    #: Encode consecutive sends for one ``(peer, car)`` stream as
+    #: changed-field delta frames against the last sent value, with
+    #: full resync on first contact / epoch mismatch / handover.
+    delta_encoding: bool = False
+    #: Schedule CO-DATA under the RSU's HTB shaper in two priority
+    #: bands (urgent before refresh).  Requires the scenario's
+    #: ``use_htb``.
+    priority: bool = False
+    #: Assured rates of the two CO-DATA leaf classes (both may borrow
+    #: up to the shared root ceiling).
+    urgent_rate_bps: float = 256_000.0
+    refresh_rate_bps: float = 64_000.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in COLLAB_MODES:
+            raise ValueError(
+                f"unknown collab mode {self.mode!r}; "
+                f"choose from {COLLAB_MODES}"
+            )
+        if self.refresh_interval_s <= 0:
+            raise ValueError("refresh_interval_s must be positive")
+        if self.gate_threshold < 0:
+            raise ValueError("gate_threshold must be >= 0")
+        if self.max_silence_s is not None and self.max_silence_s <= 0:
+            raise ValueError("max_silence_s must be positive")
+        if self.urgent_rate_bps <= 0 or self.refresh_rate_bps <= 0:
+            raise ValueError("band rates must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this config changes anything over the seed path."""
+        return (
+            self.mode != "handover"
+            or self.gate_threshold > 0.0
+            or self.delta_encoding
+            or self.priority
+        )
+
+    def resolved_max_silence_s(
+        self, upstream_timeout_s: Optional[float]
+    ) -> float:
+        if self.max_silence_s is not None:
+            return self.max_silence_s
+        if upstream_timeout_s is not None:
+            # Refresh comfortably inside the downstream's degradation
+            # window: gated silence must never trip it.
+            return 0.8 * upstream_timeout_s
+        return 4.0 * self.refresh_interval_s
+
+
+@dataclass(frozen=True)
+class SendPlan:
+    """One frame the plane decided to send: pre-encoded payload plus
+    its priority band, ready for the shaper and the wired link."""
+
+    peer: str
+    car: int
+    payload: bytes
+    band: str
+    kind: str  # "full" | "delta" | "raw"
+
+
+class _StreamState:
+    """Sender-side state of one ``(peer, car)`` summary stream."""
+
+    __slots__ = ("units", "epoch", "last_sent_s", "dirty", "full_size")
+
+    def __init__(
+        self, units: Tuple[int, ...], epoch: int, now: float, full_size: int
+    ) -> None:
+        self.units = units
+        self.epoch = epoch
+        self.last_sent_s = now
+        self.dirty = False  # set on loss: next frame is a full resync
+        self.full_size = full_size
+
+
+class CollabPlane:
+    """Sender-side gating, encoding, and metering for one RSU.
+
+    Owns the per-``(peer, car)`` baselines both layers share: gating
+    compares against the last *sent* value (what the receiver actually
+    holds), and delta encoding diffs against the same units — so a
+    suppressed frame never advances the baseline and the stream stays
+    exactly reconstructible.
+    """
+
+    def __init__(
+        self,
+        config: CollabConfig,
+        serde: Serde,
+        history_weight: float = HISTORY_WEIGHT,
+        upstream_timeout_s: Optional[float] = None,
+    ) -> None:
+        self.config = config
+        self._serde = serde
+        self._history_weight = history_weight
+        self._max_silence_s = config.resolved_max_silence_s(upstream_timeout_s)
+        self._streams: Dict[Tuple[str, int], _StreamState] = {}
+        # Metering (plain attributes; folded by repro.obs at finalize).
+        self.bytes_sent = 0
+        self.bytes_suppressed = 0
+        self.msgs_gated = 0
+        self.msgs_sent: Dict[str, int] = {BAND_URGENT: 0, BAND_REFRESH: 0}
+        self.fulls_sent = 0
+        self.deltas_sent = 0
+        #: Frame size -> count, folded into the delta-size histogram.
+        self.frame_size_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        peer: str,
+        summary: PredictionSummary,
+        now: float,
+        handover: bool = False,
+    ) -> Optional[SendPlan]:
+        """Gate and encode one candidate send toward ``peer``.
+
+        Returns ``None`` when the frame was suppressed (utility below
+        threshold and the stream is not stale).  Handover sends are
+        never gated — they are this RSU's last word on the car and
+        always resync in full — and they drop no state here (the RSU
+        calls :meth:`forget_car` right after).
+        """
+        payload_dict = summary.to_payload()
+        units = quantize_summary(payload_dict)
+        car = units[0]
+        key = (peer, car)
+        state = self._streams.get(key)
+
+        if not handover:
+            if state is None:
+                # First contact: always send (infinite staleness), but
+                # classify the band on the move from the neutral prior.
+                urgent = units[3] == ABNORMAL or (
+                    prior_logit_shift(
+                        NEUTRAL_PRIOR, payload_dict["p"], self._history_weight
+                    )
+                    >= self.config.gate_threshold
+                )
+                band = BAND_URGENT if urgent else BAND_REFRESH
+            else:
+                utility = prior_logit_shift(
+                    state.units[1] * P_UNIT,
+                    payload_dict["p"],
+                    self._history_weight,
+                )
+                class_flip = units[3] != state.units[3]
+                urgent = class_flip or utility >= self.config.gate_threshold
+                stale = now - state.last_sent_s >= self._max_silence_s
+                if not urgent and not stale:
+                    self.msgs_gated += 1
+                    self.bytes_suppressed += state.full_size
+                    return None
+                band = BAND_URGENT if urgent else BAND_REFRESH
+        else:
+            band = BAND_URGENT
+
+        if self.config.delta_encoding:
+            resync = handover or state is None or state.dirty
+            if resync:
+                epoch = 0 if state is None else (state.epoch + 1) % 256
+                payload = encode_summary_full(
+                    self._serde.serialize(payload_dict), epoch
+                )
+                kind = "full"
+                self.fulls_sent += 1
+            else:
+                epoch = state.epoch
+                payload = encode_summary_delta(epoch, state.units, units)
+                kind = "delta"
+                self.deltas_sent += 1
+        else:
+            # Gating-only configurations skip framing entirely: the
+            # wire format (and byte accounting) matches the seed path.
+            epoch = 0 if state is None else state.epoch
+            payload = self._serde.serialize(payload_dict)
+            kind = "raw"
+            self.fulls_sent += 1
+
+        size = len(payload)
+        if state is None:
+            state = _StreamState(units, epoch, now, size)
+            self._streams[key] = state
+        else:
+            state.units = units
+            state.epoch = epoch
+            state.last_sent_s = now
+            state.dirty = False
+            if kind != "delta":
+                state.full_size = size
+        self.bytes_sent += size
+        self.msgs_sent[band] += 1
+        self.frame_size_counts[size] = self.frame_size_counts.get(size, 0) + 1
+        return SendPlan(peer=peer, car=car, payload=payload, band=band, kind=kind)
+
+    def mark_lost(self, peer: str, car: int) -> None:
+        """A frame toward ``peer`` was lost in flight: the receiver's
+        baseline can no longer be assumed, so the next send resyncs."""
+        state = self._streams.get((peer, car))
+        if state is not None:
+            state.dirty = True
+
+    def forget_car(self, car: int) -> None:
+        """Drop every stream for ``car`` (it handed over away)."""
+        for key in [key for key in self._streams if key[1] == car]:
+            del self._streams[key]
+
+    @property
+    def msgs_sent_total(self) -> int:
+        return sum(self.msgs_sent.values())
+
+
+class SummaryRxCache:
+    """Receiver-side baseline cache resolving summary frames.
+
+    Full frames (re)establish a car's baseline and epoch; delta frames
+    apply against it.  A delta whose baseline is missing or whose epoch
+    mismatches is *stale* — dropped, counted, and healed by the
+    sender's next full resync (the sender marks the stream dirty on
+    any loss it can observe).
+    """
+
+    def __init__(self, serde: Serde) -> None:
+        self._serde = serde
+        self._units: Dict[int, Tuple[int, ...]] = {}
+        self._epochs: Dict[int, int] = {}
+
+    def resolve(self, frame: SummaryFrame) -> Optional[PredictionSummary]:
+        if frame.kind == SUMMARY_FULL:
+            payload = self._serde.deserialize(frame.body)
+            units = quantize_summary(payload)
+            self._units[units[0]] = units
+            self._epochs[units[0]] = frame.epoch
+            return PredictionSummary.from_payload(payload)
+        base = self._units.get(frame.car)
+        if base is None or self._epochs.get(frame.car) != frame.epoch:
+            return None
+        units = apply_summary_delta(base, frame.deltas)
+        self._units[frame.car] = units
+        return PredictionSummary.from_payload(summary_payload_from_units(units))

@@ -112,6 +112,12 @@ class RsuMetrics:
     mean_queuing_ms: float
     #: Online detection quality (None if no labelled events).
     detection: Optional[object] = None
+    #: CO-DATA byte/suppression accounting (zero unless the
+    #: bandwidth-adaptive collaboration plane is enabled).
+    co_bytes_sent: int = 0
+    co_bytes_suppressed: int = 0
+    co_msgs_gated: int = 0
+    co_stale_dropped: int = 0
 
 
 @dataclass
@@ -198,6 +204,10 @@ class ScenarioResult:
                     "warnings_issued": metrics.warnings_issued,
                     "summaries_sent": metrics.summaries_sent,
                     "summaries_received": metrics.summaries_received,
+                    "co_bytes_sent": metrics.co_bytes_sent,
+                    "co_bytes_suppressed": metrics.co_bytes_suppressed,
+                    "co_msgs_gated": metrics.co_msgs_gated,
+                    "co_stale_dropped": metrics.co_stale_dropped,
                     "detection": (
                         None
                         if metrics.detection is None
@@ -282,6 +292,7 @@ def collect_rsu_metrics(
     for name, rsu in rsus.items():
         tx = rsu.events.tx_s()
         queuing = rsu.events.queuing_s()
+        plane = getattr(rsu, "collab", None)
         rsu_metrics[name] = RsuMetrics(
             name=name,
             mean_processing_ms=rsu.mean_processing_ms(),
@@ -295,6 +306,12 @@ def collect_rsu_metrics(
                 float(np.mean(queuing)) * 1e3 if queuing.size else 0.0
             ),
             detection=rsu.detection_report(),
+            co_bytes_sent=0 if plane is None else plane.bytes_sent,
+            co_bytes_suppressed=(
+                0 if plane is None else plane.bytes_suppressed
+            ),
+            co_msgs_gated=0 if plane is None else plane.msgs_gated,
+            co_stale_dropped=getattr(rsu, "summaries_stale_dropped", 0),
         )
     return rsu_metrics
 
@@ -339,6 +356,7 @@ class TestbedScenario:
             block=self.config.columnar and self._batched,
             serdes=topic_serdes(self.config.serde_profile),
             upstream_timeout_s=self.config.upstream_timeout_s,
+            collab=getattr(self.config, "collab", None),
         )
 
     def _wire_batched_flush(self, name: str) -> None:
@@ -370,6 +388,35 @@ class TestbedScenario:
         if self.config.use_htb:
             root = HtbClass(f"{name}-root", DSRC_BANDWIDTH_BPS, DSRC_BANDWIDTH_BPS)
             self.shapers[name] = HtbShaper(root)
+        collab = getattr(self.config, "collab", None)
+        if (
+            collab is not None
+            and collab.enabled
+            and collab.priority
+            and self.config.use_htb
+        ):
+            # Two CO-DATA leaf classes under the RSU's shaper: urgent
+            # (decision-changing deltas, warnings-adjacent) charges
+            # before refresh (staleness keep-alives), so gated-but-sent
+            # refresh traffic never delays what matters.
+            shaper = self.shapers[name]
+            urgent = shaper.add_leaf(
+                HtbClass(
+                    f"{name}-co-urgent",
+                    collab.urgent_rate_bps,
+                    DSRC_BANDWIDTH_BPS,
+                    priority=0,
+                )
+            )
+            refresh = shaper.add_leaf(
+                HtbClass(
+                    f"{name}-co-refresh",
+                    collab.refresh_rate_bps,
+                    DSRC_BANDWIDTH_BPS,
+                    priority=1,
+                )
+            )
+            rsu.attach_co_shaper(shaper, urgent.name, refresh.name)
         if self._batched:
             self._wire_batched_flush(name)
         return rsu

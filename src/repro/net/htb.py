@@ -9,7 +9,7 @@ when their own bucket is empty, provided the parent has headroom.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 class HtbClass:
@@ -25,6 +25,10 @@ class HtbClass:
         Maximum rate including borrowed bandwidth; must be >= rate.
     burst_bytes:
         Bucket depth; defaults to 100 ms worth of the ceiling.
+    priority:
+        Borrow priority under :meth:`HtbShaper.send_prioritized`
+        (lower value = charged first, like ``tc htb prio``).  Plain
+        :meth:`HtbShaper.send` ignores it.
     """
 
     def __init__(
@@ -33,6 +37,7 @@ class HtbClass:
         rate_bps: float,
         ceil_bps: Optional[float] = None,
         burst_bytes: Optional[float] = None,
+        priority: int = 0,
     ) -> None:
         if rate_bps <= 0:
             raise ValueError(f"rate must be positive: {rate_bps}")
@@ -47,6 +52,7 @@ class HtbClass:
         self.burst_bytes = (
             burst_bytes if burst_bytes is not None else ceil * 0.100 / 8.0
         )
+        self.priority = priority
         self.tokens = self.burst_bytes
         self._last_refill = 0.0
         self.bytes_sent = 0
@@ -161,6 +167,29 @@ class HtbShaper:
         leaf.tokens = 0.0
         leaf.bytes_sent += packet_bytes
         return deficit / (leaf.rate_bps / 8.0)
+
+    def send_prioritized(
+        self, requests: Sequence[Tuple[str, int]], now: float
+    ) -> List[float]:
+        """Charge a burst of packets in leaf-priority order.
+
+        ``requests`` is ``(leaf_name, packet_bytes)`` pairs submitted
+        together (e.g. one CO-DATA refresh tick's frames).  Charging
+        runs lowest :attr:`HtbClass.priority` value first (stable on
+        submission order within a band), so when the burst outruns what
+        the shared root can lend, the deficit — and therefore the
+        delay — lands on the low-priority band, never on the urgent
+        one.  Returns per-packet delays in submission order.
+        """
+        order = sorted(
+            range(len(requests)),
+            key=lambda index: (self.leaf(requests[index][0]).priority, index),
+        )
+        delays = [0.0] * len(requests)
+        for index in order:
+            leaf_name, packet_bytes = requests[index]
+            delays[index] = self.send(leaf_name, packet_bytes, now)
+        return delays
 
     def aggregate_rate_bps(self, elapsed_s: float) -> float:
         """Mean aggregate throughput over ``elapsed_s``."""

@@ -25,6 +25,7 @@ import pickle
 import struct
 from typing import Dict, List, Sequence, Tuple
 
+from repro.core.wire import SUMMARY_FRAME_MAGIC, summary_frame_car
 from repro.streaming.serde import FlatStructSerde, SerdeError
 
 # Frame kinds on the shared-memory rings.
@@ -168,9 +169,12 @@ def summary_car_ids(payloads: Sequence[bytes], serde) -> List[int]:
     struct layout, falling back to per-payload deserialization (JSON
     profile, or mixed magic-byte fallback payloads).
     """
-    if isinstance(serde, FlatStructSerde):
+    framed = any(
+        payload and payload[0] == SUMMARY_FRAME_MAGIC for payload in payloads
+    )
+    if not framed and isinstance(serde, FlatStructSerde):
         try:
             return [int(car) for car in serde.decode_batch(payloads)["car"]]
         except SerdeError:
             pass
-    return [int(serde.deserialize(payload)["car"]) for payload in payloads]
+    return [summary_frame_car(payload, serde) for payload in payloads]

@@ -107,6 +107,22 @@ class TestConsolidatedFlags:
         assert "deprecated" in err
         assert "--out" in err
 
+    def test_repeated_alias_warns_once_per_invocation(self, capsys):
+        parsed = build_parser().parse_args(
+            ["parallel", "--workers", "2", "--workers", "3"]
+        )
+        assert parsed.shards == 3  # last occurrence still wins
+        err = capsys.readouterr().err
+        assert err.count("deprecated") == 1
+
+    def test_distinct_aliases_each_warn(self, capsys):
+        # Namespaces are per-parse, so a fresh invocation warns again
+        # and different flags warn independently.
+        build_parser().parse_args(["parallel", "--workers", "2"])
+        build_parser().parse_args(["obs", "--json", "/tmp/o.json"])
+        err = capsys.readouterr().err
+        assert err.count("deprecated") == 2
+
 
 class TestCityCommand:
     def test_city_report_json_and_out(self, tmp_path, capsys):
@@ -127,3 +143,29 @@ class TestCityCommand:
         assert main(["city", "--scale", "0.01", "--duration", "120"]) == 0
         out = capsys.readouterr().out
         assert "city" in out.lower()
+
+
+class TestCommCommand:
+    def test_comm_report_json_and_out(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "comm.json"
+        assert main(
+            ["comm", "--vehicles", "4", "--duration", "2",
+             "--format", "json", "--out", str(out_path)]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(out_path.read_text())
+        assert payload["audits_ok"] is True
+        assert payload["points"][0]["label"] == "baseline"
+        assert len(payload["points"]) >= 6
+
+    def test_comm_markdown_default(self, capsys):
+        assert main(["comm", "--vehicles", "4", "--duration", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Knee" in out
+        assert "bytes/frame" in out
+
+    def test_comm_rejects_shards(self, capsys):
+        assert main(["comm", "--vehicles", "4", "--shards", "2"]) == 2
+        assert "single-process" in capsys.readouterr().err

@@ -282,6 +282,48 @@ def _cmd_comm(args: argparse.Namespace) -> int:
     return 0 if report.audits_ok else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import FuzzConfig, FuzzRunner, replay_corpus_entry
+    from repro.fuzz.runner import fuzz_dataset_warmup
+
+    if args.replay:
+        result = replay_corpus_entry(
+            args.replay, update_digest=args.update_digests
+        )
+        lines = [f"### repro fuzz --replay `{result['path']}`", ""]
+        lines.append(f"- expect: {result['expect']}")
+        lines.append(f"- digest: `{result['digest'][:16]}…`")
+        lines.append(f"- oracles: {', '.join(result['oracles_run'])}")
+        if result["ok"]:
+            lines.append("- result: **ok**")
+        else:
+            lines.append("- result: **mismatch**")
+            lines.extend(f"  - {problem}" for problem in result["problems"])
+        _emit_report(args, "\n".join(lines), result)
+        return 0 if result["ok"] else 1
+
+    from dataclasses import replace as _replace
+
+    if args.smoke:
+        config = FuzzConfig.smoke(seed=args.seed)
+        if args.budget is not None:
+            config = _replace(config, examples=args.budget)
+        if args.time_budget is not None:
+            config = _replace(config, time_budget_s=args.time_budget)
+    else:
+        config = FuzzConfig(
+            seed=args.seed,
+            examples=args.budget if args.budget is not None else 50,
+            time_budget_s=args.time_budget,
+        )
+    if args.corpus_dir:
+        config = _replace(config, corpus_dir=args.corpus_dir)
+    fuzz_dataset_warmup()
+    report = FuzzRunner(config).run()
+    _emit_report(args, report.format_markdown(), report.to_dict())
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Markdown delta table: a fresh BENCH_*.json vs the committed
     baseline of the same bench id.
@@ -768,6 +810,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline artifact (default: repo-root <bench>.json)",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="property-based scenario fuzzing under differential oracles",
+        parents=[output_parent],
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="fuzzer base seed (default 0)"
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=int,
+        help="number of generated scenarios to run (default 50)",
+    )
+    fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        help="wall-clock budget in seconds (checked between chunks)",
+    )
+    fuzz.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke config: 30 scenarios, small corridor space",
+    )
+    fuzz.add_argument(
+        "--corpus-dir",
+        help="write shrunk failing repro specs to this directory",
+    )
+    fuzz.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="replay one corpus entry instead of fuzzing",
+    )
+    fuzz.add_argument(
+        "--update-digests",
+        action="store_true",
+        help="with --replay: rewrite the entry's pinned digest",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     reproduce = commands.add_parser(
         "reproduce",

@@ -9,7 +9,19 @@ import pytest
 from repro.core.collaborative import summaries_from_upstream
 from repro.core.detector import AD3Detector
 from repro.dataset import DatasetGenerator, GeneratorConfig, Preprocessor
+from repro.fuzz.spec import GOLDEN_DATASET_SEED, GOLDEN_SCENARIO_SEED
 from repro.geo import CityNetworkBuilder, RoadType
+
+
+@pytest.fixture(scope="session")
+def golden_seeds():
+    """The canonical RNG seeds every golden suite derives from —
+    single-sourced in :mod:`repro.fuzz.spec` so the fuzzer, the golden
+    tests, and this fixture can never drift apart."""
+    return {
+        "scenario": GOLDEN_SCENARIO_SEED,
+        "dataset": GOLDEN_DATASET_SEED,
+    }
 
 
 @pytest.fixture(scope="session")
@@ -18,10 +30,15 @@ def corridor_network():
 
 
 @pytest.fixture(scope="session")
-def labeled_dataset(corridor_network):
+def labeled_dataset(corridor_network, golden_seeds):
     generator = DatasetGenerator(
         corridor_network,
-        GeneratorConfig(n_cars=120, trips_per_car=6, seed=3, erroneous_rate=0.0),
+        GeneratorConfig(
+            n_cars=120,
+            trips_per_car=6,
+            seed=golden_seeds["dataset"],
+            erroneous_rate=0.0,
+        ),
     )
     dataset = generator.generate()
     dataset.records = Preprocessor().run(dataset.records)

@@ -1,0 +1,37 @@
+"""Deterministic replay of the committed fuzz corpus (tier-1).
+
+Every shrunk repro spec under ``tests/fuzz_corpus/`` is replayed
+against the full oracle stack on every CI run: ``expect: "pass"``
+entries must stay green *and* bit-identical to their pinned digest;
+``expect: "fail"`` entries must keep failing until the bug is fixed
+(then ``repro fuzz --replay <file> --update-digests`` flips them).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import replay_corpus_entry
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "fuzz_corpus"
+ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_committed():
+    """The seed corpus ships with the repo — an empty directory means
+    the entries were lost, not that there is nothing to replay."""
+    assert len(ENTRIES) >= 5
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda p: p.stem)
+def test_replay_is_green_and_bit_identical(entry):
+    result = replay_corpus_entry(entry)
+    assert result["ok"], result["problems"]
+
+
+def test_replay_digest_is_stable_across_runs():
+    """Same spec, two replays, same digest — the determinism the
+    pinned digests rely on."""
+    first = replay_corpus_entry(ENTRIES[0])
+    second = replay_corpus_entry(ENTRIES[0])
+    assert first["digest"] == second["digest"]

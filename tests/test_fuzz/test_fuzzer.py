@@ -1,0 +1,85 @@
+"""The fuzz runner: green budgets, determinism, and the planted-bug
+demonstration (find → shrink → persist → replay)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import FuzzConfig, FuzzRunner, run_oracles
+from repro.fuzz.oracles import set_planted_bug
+from repro.fuzz.spec import FuzzSpec
+
+
+class TestGreenRun:
+    def test_small_budget_all_oracles_green(self):
+        report = FuzzRunner(FuzzConfig(seed=11, examples=6)).run()
+        assert report.ok, [f.to_dict() for f in report.failures]
+        assert report.scenarios_run == 6
+        # The two always-on oracles ran once per scenario.
+        assert report.oracle_counts["conservation_audit"] == 6
+        assert report.oracle_counts["observer_effect"] == 6
+
+    def test_markdown_report_mentions_outcome(self):
+        report = FuzzRunner(FuzzConfig(seed=11, examples=2)).run()
+        assert "all oracles green" in report.format_markdown()
+
+
+class TestDeterminism:
+    def test_same_seed_same_spec_sequence(self):
+        config = FuzzConfig(seed=5, examples=10)
+        first = FuzzRunner(config).sample_specs(10)
+        second = FuzzRunner(config).sample_specs(10)
+        assert first == second
+
+    def test_different_seed_different_sequence(self):
+        first = FuzzRunner(FuzzConfig(seed=5)).sample_specs(10)
+        second = FuzzRunner(FuzzConfig(seed=6)).sample_specs(10)
+        assert first != second
+
+    def test_oracle_digest_is_reproducible(self):
+        spec = FuzzSpec(vehicles=3)
+        assert run_oracles(spec).digest == run_oracles(spec).digest
+
+
+class TestPlantedBugDemonstration:
+    """Acceptance demo: a deliberately re-introduced off-by-one (the
+    pre-PR-3 migrated-warning double count, behind a flag) must be
+    *found* by the fuzzer, *shrunk* to a <= 5-line JSON repro, and
+    *persisted* as a corpus entry that stops failing once the flag is
+    off."""
+
+    @pytest.fixture
+    def planted(self):
+        set_planted_bug(True)
+        yield
+        set_planted_bug(False)
+
+    def test_found_shrunk_and_persisted(self, planted, tmp_path):
+        config = FuzzConfig(
+            seed=0, examples=10, max_failures=1, corpus_dir=tmp_path
+        )
+        report = FuzzRunner(config).run()
+
+        assert not report.ok
+        failure = report.failures[0]
+        assert any(
+            "conservation_audit" in message for message in failure.failures
+        )
+
+        # Shrunk to a minimal spec: its JSON fits in five lines.
+        repro_json = failure.spec.to_json()
+        assert len(repro_json.splitlines()) <= 5
+
+        # Persisted as a replayable corpus entry.
+        assert failure.corpus_path is not None
+        corpus_file = Path(failure.corpus_path)
+        assert corpus_file.parent == tmp_path
+        payload = json.loads(corpus_file.read_text())
+        assert payload["expect"] == "fail"
+        assert payload["spec"] == failure.spec.to_payload()
+
+        # With the regression flag off, the shrunk spec is green again:
+        # exactly what a fixed bug looks like on replay.
+        set_planted_bug(False)
+        assert run_oracles(failure.spec).ok

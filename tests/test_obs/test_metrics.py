@@ -19,6 +19,7 @@ from repro.obs.metrics import (
     enable,
     format_key,
 )
+from tests.strategies import metric_labels, metric_names
 
 
 # ----------------------------------------------------------------------
@@ -135,12 +136,8 @@ def test_enable_disable_roundtrip():
 # ----------------------------------------------------------------------
 # Merge algebra (hypothesis)
 # ----------------------------------------------------------------------
-_names = st.sampled_from(["a.b", "c", "rsu.batch", "x.y.z"])
-_labels = st.dictionaries(
-    st.sampled_from(["rsu", "shard", "kind"]),
-    st.sampled_from(["1", "2", "north"]),
-    max_size=2,
-)
+_names = metric_names
+_labels = metric_labels
 _EDGE_SETS = [(1.0, 5.0), (0.5, 2.0, 8.0)]
 
 

@@ -132,6 +132,45 @@ class TestRebalance:
         with pytest.raises(ValueError):
             ShardPlanner().rebalance([["a"], ["b"]], {}, threshold=-0.5)
 
+    def test_single_rsu_shards_are_never_drained(self):
+        # Every shard owns exactly one RSU: any move would empty its
+        # source, so even extreme skew produces no decisions.
+        decisions = ShardPlanner().rebalance(
+            [["a"], ["b"], ["c"]], {"a": 900.0, "b": 5.0, "c": 1.0}
+        )
+        assert decisions == []
+
+    def test_heaviest_single_rsu_shard_halts_rebalance(self):
+        # The heavy shard's last RSU is pinned — and because moves only
+        # ever leave the heaviest shard, the remaining (mutually
+        # imbalanced) shards are left alone too.
+        decisions = ShardPlanner().rebalance(
+            [["a"], ["b", "c"], ["d"]],
+            {"a": 1000.0, "b": 30.0, "c": 30.0, "d": 0.0},
+        )
+        assert decisions == []
+
+    def test_spread_exactly_at_threshold_is_left_alone(self):
+        # All-equal per-RSU loads, shard spread landing exactly on
+        # threshold * mean (90 vs 70, mean 80, threshold 0.25): the
+        # trigger is strictly greater-than, so nothing moves...
+        heavy = [f"h{i}" for i in range(9)]
+        light = [f"l{i}" for i in range(7)]
+        loads = {name: 10.0 for name in heavy + light}
+        assert ShardPlanner().rebalance([heavy, light], loads) == []
+        # ...while one RSU fewer on the light side crosses it.
+        assert ShardPlanner().rebalance([heavy, light[:-1]], loads)
+
+    def test_overshooting_move_is_refused(self):
+        # The lightest candidate (50) still exceeds the 40-point gap:
+        # moving it would invert and *worsen* the imbalance, so the
+        # planner must refuse rather than oscillate.
+        decisions = ShardPlanner().rebalance(
+            [["a", "b"], ["c", "d"]],
+            {"a": 50.0, "b": 50.0, "c": 30.0, "d": 30.0},
+        )
+        assert decisions == []
+
     def test_max_moves_caps_decisions(self):
         assignments = [["a", "b", "c", "d", "e"], ["f"]]
         loads = {name: 50.0 for name in "abcde"}

@@ -16,6 +16,7 @@ from repro.core.wire import summary_struct_serde
 from repro.parallel.barrier import summary_car_ids
 from repro.streaming.serde import SerdeError
 from repro.streaming.shm import RingFull, ShmRing
+from tests.strategies import ring_frames, summary_dicts
 
 
 @pytest.fixture
@@ -26,14 +27,7 @@ def ring():
     ring.unlink()
 
 
-payloads_strategy = st.lists(
-    st.tuples(
-        st.integers(min_value=0, max_value=255),
-        st.binary(min_size=0, max_size=48),
-    ),
-    min_size=1,
-    max_size=40,
-)
+payloads_strategy = ring_frames
 
 
 class TestRingProperties:
@@ -174,20 +168,7 @@ class TestZeroCopyViews:
             ring.unlink()
 
 
-summaries_strategy = st.lists(
-    st.fixed_dictionaries(
-        {
-            "car": st.integers(min_value=1, max_value=10_000),
-            "p": st.floats(0.0, 1.0, allow_nan=False, width=32),
-            "n": st.integers(min_value=0, max_value=100_000),
-            "cls": st.integers(min_value=0, max_value=1),
-            "rd": st.integers(min_value=0, max_value=500),
-            "ts": st.floats(0.0, 1e4, allow_nan=False),
-        }
-    ),
-    min_size=1,
-    max_size=20,
-)
+summaries_strategy = summary_dicts
 
 
 class TestStructSerdeThroughRing:

@@ -18,6 +18,7 @@ from repro.net.dsrc import DsrcMacModel, PAPER_MCS_8
 from repro.simkernel import EventQueue, Simulator
 from repro.streaming import JsonSerde
 from repro.streaming.topic import Topic
+from tests.strategies import json_values, summary_merge_entries
 
 
 class TestEventQueueOrdering:
@@ -88,17 +89,6 @@ class TestSimulatorTimeMonotonicity:
 
 
 class TestSerdeRoundTrip:
-    json_values = st.recursive(
-        st.none()
-        | st.booleans()
-        | st.integers(min_value=-(2**31), max_value=2**31)
-        | st.floats(allow_nan=False, allow_infinity=False)
-        | st.text(max_size=30),
-        lambda children: st.lists(children, max_size=5)
-        | st.dictionaries(st.text(max_size=10), children, max_size=5),
-        max_leaves=20,
-    )
-
     @given(json_values)
     @settings(max_examples=100, deadline=None)
     def test_round_trip(self, value):
@@ -187,15 +177,7 @@ class TestAccidentDeltaProperties:
 
 
 class TestSummaryMerge:
-    summaries = st.lists(
-        st.tuples(
-            st.floats(min_value=0.0, max_value=1.0),
-            st.integers(min_value=1, max_value=100),
-            st.floats(min_value=0.0, max_value=1e6),
-        ),
-        min_size=1,
-        max_size=8,
-    )
+    summaries = summary_merge_entries
 
     @staticmethod
     def build(entries):

@@ -125,11 +125,19 @@ def _skewed_assignments(spec: CitySpec, moves: int):
 
 
 def run_config(sizes, peak_floor, speedup_target):
+    # BENCH_6 gates the *sharding protocol's* scaling, so both sides
+    # run the reference tick kernel its targets were calibrated on.
+    # The fused arena kernel (BENCH_8) cuts the serial side ~3x, which
+    # compresses this serial-vs-sharded ratio toward the fixed IPC +
+    # engine-routing cost (Amdahl) without the protocol changing at
+    # all — pinning the kernel keeps the committed baseline
+    # apples-to-apples.  Digests are kernel-invariant either way.
     serial_spec = CitySpec(
         seed=7,
         count_scale=sizes["count_scale"],
         duration_s=sizes["duration_s"],
         shards=1,
+        kernel="reference",
     )
     sharded_spec = serial_spec.replace(
         shards=sizes["shards"],

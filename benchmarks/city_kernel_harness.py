@@ -1,0 +1,304 @@
+#!/usr/bin/env python
+"""Fused city-kernel benchmark: BENCH_8.
+
+The arena-pooled fused tick kernel (PR 10) exists to push the
+mesoscopic city engine past a million concurrent vehicles without
+giving up the bit-identical digest guarantee the reference per-RSU
+engine (PR 7) pins.  This harness gates both claims:
+
+- **>= 3x serial tick throughput** over the reference kernel on the
+  BENCH_6 full-day 274-RSU configuration (count_scale 0.05, 86,400
+  simulated seconds, commute demand wave).  Both kernels run in the
+  same process, back to back, per repeat; each side is noise-floored
+  with the minimum over repeats (guest CPU accounting soaks up host
+  steal, a strictly one-sided error, so the min is the unbiased
+  estimator of uncontended cost — the same reason ``timeit`` reports
+  min).
+- **bit-identical digests** — every repeat's fused digest rollup must
+  equal the reference rollup, and both conservation audits must be
+  green.  A fast wrong kernel is a failure, not a trade.
+- **the 1,500-RSU scale config** (full mode only): count_scale 0.28,
+  one full demand-wave day through the fused kernel, sustaining
+  >= 1,000,000 peak concurrent vehicles inside a bounded peak RSS and
+  wall budget.  This is the paper-scale headline the arena design
+  (preallocated per-RSU segments, hole-stamped retirement, epoch
+  compaction — no per-tick ``np.concatenate`` of live columns) buys.
+
+Writes ``BENCH_8.json`` and exits non-zero on any violated bound.  In
+full mode the artifact embeds the smoke-sized section, so CI (which
+runs ``--smoke``) regression-checks like against like via
+``benchmarks/regression_check.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.city.engine import CityEngine  # noqa: E402
+from repro.city.model import CitySpec  # noqa: E402
+
+#: Acceptance bounds from the issue.
+FULL_SPEEDUP_TARGET = 3.0
+SCALE_PEAK_FLOOR = 1_000_000
+#: The smoke city is far too small for the vectorized cross-RSU batch
+#: to amortize its python staging, so its speedup floor only guards
+#: against pathological slowdowns; its job is the correctness gate
+#: (digest equality + audits), not the headline ratio.
+SMOKE_SPEEDUP_FLOOR = 0.5
+
+FULL_SIZES = {
+    "count_scale": 0.05,
+    "duration_s": 86_400.0,
+    # Run-to-run CPU variance on a contended host is tens of percent;
+    # the gated ratio noise-floors both sides over repeats.
+    "repeats": 2,
+    "speedup_target": FULL_SPEEDUP_TARGET,
+}
+SMOKE_SIZES = {
+    "count_scale": 0.01,
+    "duration_s": 1_800.0,
+    "repeats": 1,
+    "speedup_target": SMOKE_SPEEDUP_FLOOR,
+}
+#: Table V trunk counts round per RSU type, so RSU count (and with it
+#: peak concurrency) grows sublinearly in count_scale: 0.05 -> 274
+#: RSUs / 184k peak, 0.28 -> 1,367 / 922k.  0.315 lands ~1,540 RSUs
+#: and clears the million-vehicle floor with margin (deterministic
+#: given the seed, so the margin covers the model, not noise).
+SCALE_SIZES = {
+    "count_scale": 0.315,
+    "duration_s": 86_400.0,
+}
+#: Peak RSS bound for the scale run.  A ~1M-vehicle city is ~25 MB per
+#: live column set; the arena's doubling slack, hole headroom between
+#: compactions, in-flight move bundles and interpreter + numpy overhead
+#: put the measured peak near 120 MB.  The bound leaves ~4x headroom
+#: for allocator/numpy variance while still catching accidental
+#: per-tick accumulation (a leaked day's worth of bundles would blow
+#: far past it).
+SCALE_RSS_BOUND_MB = 512
+#: Wall budget for the scale day.  The fused kernel clears it with
+#: ~10x margin on an unloaded host; the bound catches an accidental
+#: return to reference-kernel scaling on even a heavily contended
+#: runner.
+SCALE_WALL_BUDGET_S = 300.0
+
+
+def run_kernel_config(sizes):
+    """Fused vs reference, back to back in the same process."""
+    fused_spec = CitySpec(
+        seed=7,
+        count_scale=sizes["count_scale"],
+        duration_s=sizes["duration_s"],
+        shards=1,
+        kernel="fused",
+    )
+    reference_spec = fused_spec.replace(kernel="reference")
+
+    repeats = sizes["repeats"]
+    fused_cpus, reference_cpus = [], []
+    speedup_samples = []
+    fused = reference = None
+    digests_identical = True
+    for rep in range(repeats):
+        print(
+            f"  fused: {sizes['count_scale']}x city, "
+            f"{fused_spec.n_ticks} ticks (run {rep + 1}/{repeats})..."
+        )
+        fused = CityEngine(fused_spec).run()
+        print(f"  reference: same config (run {rep + 1}/{repeats})...")
+        reference = CityEngine(reference_spec).run()
+        fused_cpus.append(fused.serial_cpu_s)
+        reference_cpus.append(reference.serial_cpu_s)
+        speedup_samples.append(
+            round(reference.serial_cpu_s / fused.serial_cpu_s, 3)
+            if fused.serial_cpu_s
+            else 0.0
+        )
+        if fused.digest_signature() != reference.digest_signature():
+            digests_identical = False
+            break  # correctness failure; no point timing further
+
+    speedup = (
+        min(reference_cpus) / min(fused_cpus) if min(fused_cpus) else 0.0
+    )
+
+    failures = []
+    if not digests_identical:
+        failures.append("fused digest rollup diverges from reference kernel")
+    if fused.spawned != reference.spawned:
+        failures.append("fused spawn count diverges from reference kernel")
+    if fused.warnings_total != reference.warnings_total:
+        failures.append("fused warning count diverges from reference kernel")
+    if speedup < sizes["speedup_target"]:
+        failures.append(
+            f"fused speedup {speedup:.2f}x < {sizes['speedup_target']}x"
+        )
+    for label, result in (("fused", fused), ("reference", reference)):
+        for violation in result.audit():
+            failures.append(f"{label} audit: {violation}")
+
+    return {
+        "sizes": sizes,
+        "rsus": fused.n_rsus,
+        "ticks": fused.n_ticks,
+        "fused": {
+            "cpu_s": round(min(fused_cpus), 4),
+            "wall_s": round(fused.wall_s, 4),
+            "spawned": fused.spawned,
+            "retired": fused.retired,
+            "peak_concurrent": fused.peak_concurrent,
+            "warnings": fused.warnings_total,
+            "migrations_applied": fused.migrations_applied,
+        },
+        "reference": {
+            "cpu_s": round(min(reference_cpus), 4),
+            "wall_s": round(reference.wall_s, 4),
+        },
+        "speedup_mode": "serial_cpu_min_over_repeats",
+        "fused_speedup": round(speedup, 3),
+        "speedup_samples": speedup_samples,
+        "digest_signature": fused.digest_signature(),
+        "digests_identical": digests_identical,
+        "target_speedup": sizes["speedup_target"],
+        "regression_metrics": {
+            "city_kernel_fused_speedup": round(speedup, 3),
+            "city_kernel_ticks_per_s": round(
+                fused.n_ticks / min(fused_cpus) if min(fused_cpus) else 0.0,
+                1,
+            ),
+        },
+        "failures": failures,
+        "pass": not failures,
+    }
+
+
+def run_scale():
+    """One paper-scale demand-wave day through the fused kernel."""
+    spec = CitySpec(
+        seed=7,
+        count_scale=SCALE_SIZES["count_scale"],
+        duration_s=SCALE_SIZES["duration_s"],
+        shards=1,
+        kernel="fused",
+    )
+    print(
+        f"  scale: {SCALE_SIZES['count_scale']}x city, "
+        f"{spec.n_ticks} ticks (single run)..."
+    )
+    result = CityEngine(spec).run()
+    rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+    failures = list(result.audit())
+    if result.peak_concurrent < SCALE_PEAK_FLOOR:
+        failures.append(
+            f"peak concurrency {result.peak_concurrent:,} < "
+            f"{SCALE_PEAK_FLOOR:,}"
+        )
+    if rss_mb > SCALE_RSS_BOUND_MB:
+        failures.append(
+            f"peak RSS {rss_mb:.0f} MB > {SCALE_RSS_BOUND_MB} MB bound"
+        )
+    if result.wall_s > SCALE_WALL_BUDGET_S:
+        failures.append(
+            f"wall {result.wall_s:.0f} s > {SCALE_WALL_BUDGET_S:.0f} s budget"
+        )
+
+    return {
+        "sizes": SCALE_SIZES,
+        "rsus": result.n_rsus,
+        "ticks": result.n_ticks,
+        "spawned": result.spawned,
+        "retired": result.retired,
+        "peak_concurrent": result.peak_concurrent,
+        "mean_concurrent": round(result.mean_concurrent, 1),
+        "warnings": result.warnings_total,
+        "migrations_applied": result.migrations_applied,
+        "cpu_s": round(result.serial_cpu_s, 2),
+        "wall_s": round(result.wall_s, 2),
+        "peak_rss_mb": round(rss_mb, 1),
+        "rss_bound_mb": SCALE_RSS_BOUND_MB,
+        "wall_budget_s": SCALE_WALL_BUDGET_S,
+        "peak_floor": SCALE_PEAK_FLOOR,
+        "digest_signature": result.digest_signature(),
+        "regression_metrics": {
+            "city_scale_peak_concurrent": result.peak_concurrent,
+        },
+        "failures": failures,
+        "pass": not failures,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced city, no scale day (the CI configuration)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output path (default: repo-root BENCH_8.json)",
+    )
+    args = parser.parse_args(argv)
+    out_path = args.out or REPO_ROOT / "BENCH_8.json"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+
+    mode = "smoke" if args.smoke else "full"
+    print(f"city kernel harness ({mode} mode)")
+    start = time.perf_counter()
+    if args.smoke:
+        sections = {"smoke": run_kernel_config(SMOKE_SIZES)}
+    else:
+        # The scale day runs first so its RSS measurement is not
+        # inflated by... nothing: ru_maxrss is a process-lifetime peak
+        # and the 0.05-scale runs are a fraction of the scale day's
+        # footprint either way.  It runs first simply to surface the
+        # expensive failure fastest.
+        sections = {
+            "scale": run_scale(),
+            "full": run_kernel_config(FULL_SIZES),
+            "smoke": run_kernel_config(SMOKE_SIZES),
+        }
+
+    out = {
+        "bench": "BENCH_8",
+        "mode": mode,
+        **sections,
+        "wall_s": round(time.perf_counter() - start, 2),
+        "pass": all(section["pass"] for section in sections.values()),
+    }
+    out_path.write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if not out["pass"]:
+        for section in sections.values():
+            for failure in section["failures"]:
+                print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    primary = sections.get("full") or sections["smoke"]
+    line = (
+        f"PASS: fused {primary['fused_speedup']}x over reference "
+        f"({primary['rsus']} RSUs, digests bit-identical)"
+    )
+    if "scale" in sections:
+        scale = sections["scale"]
+        line += (
+            f"; scale day peak {scale['peak_concurrent']:,} vehicles in "
+            f"{scale['wall_s']:.0f} s wall, {scale['peak_rss_mb']:.0f} MB RSS"
+        )
+    print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

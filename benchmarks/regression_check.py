@@ -60,7 +60,7 @@ def apply_aliases(metrics: dict) -> dict:
 
 #: Benches whose artifacts carry per-mode sections (a full artifact
 #: embeds its smoke section so CI compares like against like).
-MODE_AWARE_BENCHES = ("BENCH_3", "BENCH_6", "BENCH_7")
+MODE_AWARE_BENCHES = ("BENCH_3", "BENCH_6", "BENCH_7", "BENCH_8")
 
 
 def _mode_section_metrics(report: dict, mode: str) -> dict:
@@ -81,7 +81,13 @@ def _mode_section_metrics(report: dict, mode: str) -> dict:
 def extract_metrics(report: dict, mode: str) -> dict:
     bench = report.get("bench")
     if bench in MODE_AWARE_BENCHES:
-        return _mode_section_metrics(report, mode)
+        metrics = _mode_section_metrics(report, mode)
+        # The BENCH_8 full artifact carries the paper-scale day as its
+        # own section; fold its metrics in so the full-mode gate sees
+        # them (smoke candidates never run the scale day).
+        if bench == "BENCH_8" and mode == "full" and report.get("scale"):
+            metrics.update(report["scale"]["regression_metrics"])
+        return metrics
     if bench == "BENCH_1":
         metrics = {
             "rsu_micro_batch_speedup": report["rsu_micro_batch"]["speedup"],
@@ -163,6 +169,22 @@ def extract_wall_seconds(report: dict) -> dict:
             walls[f"city_{mode_name}_sharded_wall_s"] = section["sharded"][
                 "wall_s"
             ]
+        return walls
+    if bench == "BENCH_8":
+        walls = {}
+        for mode_name in ("full", "smoke"):
+            section = report.get(mode_name)
+            if not section:
+                continue
+            walls[f"kernel_{mode_name}_fused_wall_s"] = section["fused"][
+                "wall_s"
+            ]
+            walls[f"kernel_{mode_name}_reference_wall_s"] = section[
+                "reference"
+            ]["wall_s"]
+        scale = report.get("scale")
+        if scale:
+            walls["kernel_scale_day_wall_s"] = scale["wall_s"]
         return walls
     return {}
 

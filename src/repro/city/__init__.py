@@ -5,7 +5,16 @@ The mesoscopic counterpart to the microscopic corridor testbed — see
 argument that pins shards=N bit-identical to shards=1.
 """
 
-from repro.city.engine import CityEngine, CityResult, RsuState, ShardState, run_city
+from repro.city.arena import SegmentArena
+from repro.city.engine import (
+    CityEngine,
+    CityResult,
+    FusedShardState,
+    RsuState,
+    ShardState,
+    build_shard_state,
+    run_city,
+)
 from repro.city.model import COMMUTE_WAVE, FLAT_WAVE, CitySpec, DemandWave
 from repro.city.topology import CityRsu, CityTopology, build_city_topology
 
@@ -18,8 +27,11 @@ __all__ = [
     "CitySpec",
     "CityTopology",
     "DemandWave",
+    "FusedShardState",
     "RsuState",
+    "SegmentArena",
     "ShardState",
+    "build_shard_state",
     "build_city_topology",
     "run_city",
 ]

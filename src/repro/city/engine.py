@@ -44,16 +44,30 @@ import gc
 import hashlib
 import multiprocessing
 import os
-import struct
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.city.kernel import FusedShardState, build_shard_state
 from repro.city.model import CitySpec
+from repro.city.reference import (
+    ID_STRIDE,
+    TICK_DIGEST as _TICK_DIGEST,
+    MoveBundle,
+    RsuState,
+    ShardState,
+    rsu_stream_name,
+)
 from repro.city.topology import CityTopology, build_city_topology
 from repro.obs.metrics import RegistrySnapshot
+from repro.obs.trace import (
+    SpanRecorder,
+    active_recorder,
+    disable_tracing,
+    enable_tracing,
+)
 from repro.parallel.barrier import frame_target
 from repro.parallel.engine import (
     DEFAULT_RING_CAPACITY,
@@ -62,281 +76,51 @@ from repro.parallel.engine import (
     critical_path_cpu_s,
 )
 from repro.parallel.plan import ShardPlanner
-from repro.simkernel.rng import RngRegistry, substream_name
 from repro.streaming.shm import ShmRing
 
-#: Vehicle ids are ``spawning_rsu_index * ID_STRIDE + per-RSU counter``,
-#: so an id names its origin and never collides city-wide.
-ID_STRIDE = 10**8
+__all__ = [
+    "ID_STRIDE",
+    "CityEngine",
+    "CityResult",
+    "FusedShardState",
+    "MoveBundle",
+    "RsuState",
+    "ShardState",
+    "build_shard_state",
+    "profile_from_snapshot",
+    "rsu_stream_name",
+    "run_city",
+]
 
-_TICK_DIGEST = struct.Struct("<qq")
+#: Span names emitted by the fused kernel's five tick phases, in tick
+#: order — the contract between ``CitySpec(profile=True)``, the worker
+#: fold, and the ``repro city --profile`` report.
+PROFILE_PHASES = (
+    "city.moves",
+    "city.arrivals",
+    "city.churn",
+    "city.detect",
+    "city.digest",
+)
 
-#: One tick's vehicle moves as five parallel arrays:
-#: (dst rsu index, src rsu index, vehicle id, trip end, residence end).
-MoveBundle = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
-
-def rsu_stream_name(rsu_name: str) -> str:
-    """The RNG stream an RSU draws from, spelled once for all engines."""
-    return substream_name("city", rsu_name)
-
-
-# ----------------------------------------------------------------------
-# Per-RSU state
-# ----------------------------------------------------------------------
-class RsuState:
-    """One RSU's resident vehicles, counters, and warning digest.
-
-    Columnar: ids / trip-end / residence-end are parallel numpy arrays,
-    so a tick is a handful of vectorized draws and masks no matter how
-    many vehicles are resident.
-    """
-
-    __slots__ = (
-        "index",
-        "name",
-        "neighbours",
-        "arrival_rate_s",
-        "ids",
-        "depart",
-        "leave",
-        "spawned",
-        "retired",
-        "warnings",
-        "digest",
-    )
-
-    def __init__(self, index: int, name: str, neighbours, arrival_rate_s: float):
-        self.index = index
-        self.name = name
-        self.neighbours = np.asarray(neighbours, dtype=np.int64)
-        self.arrival_rate_s = arrival_rate_s
-        self.ids = np.empty(0, dtype=np.int64)
-        self.depart = np.empty(0, dtype=np.float64)
-        self.leave = np.empty(0, dtype=np.float64)
-        self.spawned = 0
-        self.retired = 0
-        self.warnings = 0
-        #: Rolling SHA-256 over (tick, count, sorted flagged ids) —
-        #: stored as bytes (not a hashlib object) so it pickles across a
-        #: rebalance.
-        self.digest = b""
-
-    def admit(self, ids: np.ndarray, depart: np.ndarray, leave: np.ndarray) -> None:
-        self.ids = np.concatenate([self.ids, ids])
-        self.depart = np.concatenate([self.depart, depart])
-        self.leave = np.concatenate([self.leave, leave])
-
-    def tick(
-        self,
-        tick_index: int,
-        now: float,
-        spec: CitySpec,
-        wave: float,
-        rng: np.random.Generator,
-        moves_out: List[MoveBundle],
-    ) -> int:
-        """Advance one tick; returns the post-tick resident count.
-
-        The draw order — poisson; (trip, residence) for arrivals;
-        (residence, neighbour) for movers; (binomial, choice) for
-        detection — is fixed and every conditional draw's size is a
-        deterministic function of prior state, which is what makes the
-        sequence shard-invariant.
-        """
-        ids, depart, leave = self.ids, self.depart, self.leave
-
-        lam = self.arrival_rate_s * spec.tick_s * wave
-        k = int(rng.poisson(lam)) if lam > 0.0 else 0
-        if k:
-            trip = rng.exponential(spec.mean_trip_s, k)
-            stay = rng.exponential(spec.mean_residence_s, k)
-            base = self.index * ID_STRIDE + self.spawned
-            new_ids = np.arange(base, base + k, dtype=np.int64)
-            self.spawned += k
-            ids = np.concatenate([ids, new_ids])
-            depart = np.concatenate([depart, now + trip])
-            leave = np.concatenate([leave, now + stay])
-
-        due = leave <= now
-        if due.any():
-            finished = due & (depart <= now)
-            mover = due & ~finished
-            self.retired += int(np.count_nonzero(finished))
-            m = int(np.count_nonzero(mover))
-            drop = due
-            if m:
-                stay2 = rng.exponential(spec.mean_residence_s, m)
-                if self.neighbours.size:
-                    pick = rng.integers(0, self.neighbours.size, m)
-                    moves_out.append(
-                        (
-                            self.neighbours[pick],
-                            np.full(m, self.index, dtype=np.int64),
-                            ids[mover],
-                            depart[mover],
-                            now + stay2,
-                        )
-                    )
-                else:
-                    # Isolated RSU: stay put with a fresh residence.
-                    leave = leave.copy()
-                    leave[mover] = now + stay2
-                    drop = finished
-            keep = ~drop
-            ids, depart, leave = ids[keep], depart[keep], leave[keep]
-        self.ids, self.depart, self.leave = ids, depart, leave
-
-        n = ids.size
-        if n and spec.abnormal_prob > 0.0:
-            flagged = int(rng.binomial(n, spec.abnormal_prob))
-            if flagged:
-                chosen = rng.choice(n, size=flagged, replace=False)
-                flagged_ids = np.sort(ids[chosen])
-                self.warnings += flagged
-                self.digest = hashlib.sha256(
-                    self.digest
-                    + _TICK_DIGEST.pack(tick_index, flagged)
-                    + flagged_ids.tobytes()
-                ).digest()
-        return int(n)
-
-    # -- rebalance serialization --------------------------------------
-    def pack(self) -> dict:
-        return {
-            "index": self.index,
-            "ids": self.ids,
-            "depart": self.depart,
-            "leave": self.leave,
-            "spawned": self.spawned,
-            "retired": self.retired,
-            "warnings": self.warnings,
-            "digest": self.digest,
+def profile_from_snapshot(obs: RegistrySnapshot) -> Dict[str, Dict[str, float]]:
+    """Per-phase breakdown from the folded ``span.city.*_ms`` histograms
+    (the cross-process path: workers can only ship spans as metrics)."""
+    breakdown: Dict[str, Dict[str, float]] = {}
+    for phase in PROFILE_PHASES:
+        hist = obs.histograms.get((f"span.{phase}_ms", ()))
+        if hist is None:
+            continue
+        _edges, _counts, total_ms, count = hist
+        if not count:
+            continue
+        breakdown[phase] = {
+            "count": float(count),
+            "total_ms": float(total_ms),
+            "mean_ms": float(total_ms) / float(count),
         }
-
-    def unpack(self, state: dict) -> None:
-        self.ids = state["ids"]
-        self.depart = state["depart"]
-        self.leave = state["leave"]
-        self.spawned = state["spawned"]
-        self.retired = state["retired"]
-        self.warnings = state["warnings"]
-        self.digest = state["digest"]
-
-
-# ----------------------------------------------------------------------
-# Per-process compute core
-# ----------------------------------------------------------------------
-class ShardState:
-    """The RSUs one process owns, plus their RNG streams.
-
-    Used directly by the serial engine (owning every RSU) and by each
-    city shard worker (owning its slice).  Ownership changes only via
-    :meth:`detach` / :meth:`adopt`, which the sharded protocol invokes
-    strictly between ticks.
-    """
-
-    def __init__(
-        self, spec: CitySpec, topology: CityTopology, owned: Iterable[int]
-    ) -> None:
-        self.spec = spec
-        self.topology = topology
-        self.registry = RngRegistry(spec.seed)
-        self.base_rate_s = spec.arrivals_per_rsu_hour / 3600.0
-        self.rsus: Dict[int, RsuState] = {}
-        self.moves_applied = 0
-        for index in owned:
-            self.rsus[index] = self._fresh(index)
-        self._rebuild_order()
-
-    def _rebuild_order(self) -> None:
-        # Tick order and the load-index vector are functions of the
-        # owned set only; rebuild on ownership changes, not every tick.
-        # The array's *identity* doubles as a cheap "ownership unchanged"
-        # token for the worker's window accumulator.
-        self._order = sorted(self.rsus)
-        self._indices = np.asarray(self._order, dtype=np.int64)
-
-    def _fresh(self, index: int) -> RsuState:
-        rsu = self.topology.rsus[index]
-        return RsuState(
-            index,
-            rsu.name,
-            rsu.neighbours,
-            self.base_rate_s * rsu.arrival_weight,
-        )
-
-    def _rng(self, index: int) -> np.random.Generator:
-        return self.registry.stream(rsu_stream_name(self.topology.rsus[index].name))
-
-    # -- the tick ------------------------------------------------------
-    def apply_moves(self, bundles: List[MoveBundle]) -> None:
-        if not bundles:
-            return
-        dst = np.concatenate([b[0] for b in bundles])
-        src = np.concatenate([b[1] for b in bundles])
-        ids = np.concatenate([b[2] for b in bundles])
-        depart = np.concatenate([b[3] for b in bundles])
-        leave = np.concatenate([b[4] for b in bundles])
-        # Stable: equal (dst, src) rows keep bundle order, and any
-        # (dst, src) pair occurs in exactly one bundle per tick.
-        order = np.lexsort((src, dst))
-        dst, ids, depart, leave = dst[order], ids[order], depart[order], leave[order]
-        boundaries = np.flatnonzero(np.diff(dst)) + 1
-        starts = np.concatenate([[0], boundaries])
-        ends = np.concatenate([boundaries, [dst.size]])
-        for lo, hi in zip(starts, ends):
-            self.rsus[int(dst[lo])].admit(ids[lo:hi], depart[lo:hi], leave[lo:hi])
-        self.moves_applied += int(dst.size)
-
-    def tick(
-        self, tick_index: int, now: float, inbound: List[MoveBundle]
-    ) -> Tuple[List[MoveBundle], Tuple[np.ndarray, np.ndarray]]:
-        """Advance every owned RSU; returns ``(moves, (indices, counts))``.
-
-        Loads travel as a pair of parallel int64 arrays (global RSU
-        index, post-tick resident count) rather than a dict — they cross
-        a Pipe every tick and feed a vectorized accumulate engine-side.
-        """
-        self.apply_moves(inbound)
-        wave = self.spec.demand_wave.multiplier(now)
-        moves_out: List[MoveBundle] = []
-        counts = np.empty(len(self._order), dtype=np.int64)
-        for j, index in enumerate(self._order):
-            state = self.rsus[index]
-            counts[j] = state.tick(
-                tick_index, now, self.spec, wave, self._rng(index), moves_out
-            )
-        return moves_out, (self._indices, counts)
-
-    # -- rebalance -----------------------------------------------------
-    def detach(self, index: int) -> dict:
-        state = self.rsus.pop(index)
-        packed = state.pack()
-        packed["rng"] = self.registry.state_of(rsu_stream_name(state.name))
-        self._rebuild_order()
-        return packed
-
-    def adopt(self, packed: dict) -> None:
-        index = packed["index"]
-        state = self._fresh(index)
-        state.unpack(packed)
-        self.rsus[index] = state
-        self.registry.restore(rsu_stream_name(state.name), packed["rng"])
-        self._rebuild_order()
-
-    # -- end-of-run accounting ----------------------------------------
-    def rsu_results(self) -> Dict[str, dict]:
-        return {
-            state.name: {
-                "digest": state.digest.hex(),
-                "warnings": state.warnings,
-                "spawned": state.spawned,
-                "retired": state.retired,
-                "active": int(state.ids.size),
-            }
-            for state in self.rsus.values()
-        }
+    return breakdown
 
 
 # ----------------------------------------------------------------------
@@ -366,6 +150,9 @@ class CityResult:
     window_timings: List[WindowTiming] = field(default_factory=list)
     wall_s: float = 0.0
     obs: Optional[RegistrySnapshot] = None
+    #: Per-phase tick-time breakdown (``CitySpec(profile=True)`` only):
+    #: span name -> {count, total_ms, mean_ms[, max_ms]}.
+    profile: Optional[Dict[str, Dict[str, float]]] = None
 
     @property
     def warnings_total(self) -> int:
@@ -474,11 +261,19 @@ class CityEngine:
         spec = self.spec
         wall_start = time.perf_counter()
         cpu_start = time.process_time()
-        shard = ShardState(spec, self.topology, range(len(self.topology)))
+        shard = build_shard_state(spec, self.topology, range(len(self.topology)))
         pending: List[MoveBundle] = []
         peak = 0
         load_sum = 0
         produced = 0
+        # Profiling installs a recorder sized to hold every phase span
+        # of the run (5 per tick), so the summary is exact, not a tail.
+        recorder = None
+        prior_recorder = active_recorder()
+        if spec.profile:
+            # Up to 7 spans per tick (moves and churn each open twice);
+            # size the ring so no span of the run is ever dropped.
+            recorder = enable_tracing(SpanRecorder(capacity=8 * spec.n_ticks + 8))
         # The tick loop allocates heavily but creates no reference
         # cycles (arrays, tuples, dicts of arrays); cyclic GC passes are
         # pure pause time, so suspend them for the duration.  The shard
@@ -498,11 +293,24 @@ class CityEngine:
         finally:
             if gc_was_enabled:
                 gc.enable()
+            if recorder is not None:
+                if prior_recorder is not None:
+                    enable_tracing(prior_recorder)
+                else:
+                    disable_tracing()
         cpu = time.process_time() - cpu_start
         wall = time.perf_counter() - wall_start
         in_flight = sum(int(bundle[0].size) for bundle in pending)
         per_rsu = shard.rsu_results()
-        obs = self._fold_obs([per_rsu], produced) if spec.observability else None
+        obs = None
+        if spec.observability:
+            obs = self._fold_obs([per_rsu], produced)
+            if recorder is not None:
+                from repro.obs import metrics as obs_metrics
+
+                registry = obs_metrics.MetricsRegistry()
+                recorder.fold_into(registry)
+                obs = obs.merge(registry.snapshot())
         return CityResult(
             n_rsus=len(self.topology),
             n_shards=1,
@@ -520,6 +328,7 @@ class CityEngine:
             serial_cpu_s=cpu,
             wall_s=wall,
             obs=obs,
+            profile=recorder.summary() if recorder is not None else None,
         )
 
     def _fold_obs(self, shard_results: List[Dict[str, dict]], produced: int):
@@ -530,10 +339,10 @@ class CityEngine:
         registry = obs_metrics.MetricsRegistry()
         for per_rsu in shard_results:
             for result in per_rsu.values():
-                registry.counter("city.vehicles_spawned").add(result["spawned"])
-                registry.counter("city.vehicles_retired").add(result["retired"])
-                registry.counter("city.warnings").add(result["warnings"])
-        registry.counter("city.migrations").add(produced)
+                registry.counter("city.vehicles_spawned").inc(result["spawned"])
+                registry.counter("city.vehicles_retired").inc(result["retired"])
+                registry.counter("city.warnings").inc(result["warnings"])
+        registry.counter("city.migrations").inc(produced)
         return registry.snapshot()
 
     # ------------------------------------------------------------------
@@ -774,6 +583,11 @@ class CityEngine:
                 if result.get("obs") is not None:
                     obs = obs.merge(RegistrySnapshot.decode(result["obs"]))
             obs = obs.merge(self._fold_obs([per_rsu], produced))
+        # Worker spans only cross the process boundary as folded
+        # histograms, so the sharded breakdown comes from the snapshot.
+        profile = None
+        if spec.profile and obs is not None:
+            profile = profile_from_snapshot(obs)
         return CityResult(
             n_rsus=len(topology),
             n_shards=len(workers),
@@ -793,6 +607,7 @@ class CityEngine:
             window_timings=window_timings,
             wall_s=wall,
             obs=obs,
+            profile=profile,
         )
 
 

@@ -42,8 +42,9 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.city.engine import MoveBundle, ShardState
+from repro.city.engine import MoveBundle, build_shard_state
 from repro.city.model import CitySpec
+from repro.obs.trace import SpanRecorder, enable_tracing
 from repro.city.topology import CityTopology
 from repro.obs import metrics as obs_metrics
 from repro.parallel.barrier import (
@@ -93,7 +94,14 @@ class _CityWorker:
         self.obs_registry, self.obs_recorder = enable_worker_observability(
             ctx.spec.observability
         )
-        self.shard = ShardState(ctx.spec, ctx.topology, ctx.owned)
+        if ctx.spec.profile and self.obs_recorder is not None:
+            # The default span ring is sized for corridor runs; a city
+            # profile needs every phase span of every tick (up to 8) to
+            # survive until the end-of-run fold.
+            self.obs_recorder = enable_tracing(
+                SpanRecorder(capacity=8 * ctx.spec.n_ticks + 8)
+            )
+        self.shard = build_shard_state(ctx.spec, ctx.topology, ctx.owned)
         self.shard_of = np.asarray(ctx.shard_of, dtype=np.int64)
         #: Bundles destined to RSUs we own, buffered across the tick
         #: boundary (the intra-shard analogue of a migration frame).
@@ -259,6 +267,8 @@ class _CityWorker:
             self.obs_registry.gauge("city.shard_rsus", shard=str(self.index)).set(
                 len(self.shard.rsus)
             )
+            if self.ctx.spec.profile and self.obs_recorder is not None:
+                self.obs_recorder.fold_into(self.obs_registry)
             obs_encoded = self.obs_registry.snapshot().encode()
             obs_metrics.disable()
         self.ctx.conn.send(

@@ -36,6 +36,10 @@ class CityReport:
     critical_path_cpu_s: float
     wall_s: float
     audit_violations: List[str] = field(default_factory=list)
+    kernel: str = "fused"
+    #: Per-phase tick-time breakdown (``--profile``): phase ->
+    #: {count, total_ms, mean_ms}, folded from the repro.obs spans.
+    profile: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -64,6 +68,8 @@ class CityReport:
             "wall_s": self.wall_s,
             "audit_violations": list(self.audit_violations),
             "ok": self.ok,
+            "kernel": self.kernel,
+            "profile": self.profile,
         }
 
     def format_markdown(self) -> str:
@@ -91,6 +97,22 @@ class CityReport:
                 f"{event['from_shard']} -> {event['to_shard']}"
             )
         lines.append("")
+        if self.profile:
+            lines.append("### Tick-time breakdown")
+            lines.append("")
+            lines.append("| phase | ticks | total ms | mean ms |")
+            lines.append("|---|---:|---:|---:|")
+            ordered = sorted(
+                self.profile.items(),
+                key=lambda item: item[1]["total_ms"],
+                reverse=True,
+            )
+            for phase, stats in ordered:
+                lines.append(
+                    f"| {phase} | {stats['count']:,} | "
+                    f"{stats['total_ms']:,.1f} | {stats['mean_ms']:.3f} |"
+                )
+            lines.append("")
         if self.audit_violations:
             lines.append("### Audit: FAILED")
             lines.extend(f"- {v}" for v in self.audit_violations)
@@ -108,6 +130,8 @@ def city_report(
     wave: str = "commute",
     observability: bool = False,
     initial_assignments: Optional[tuple] = None,
+    kernel: str = "fused",
+    profile: bool = False,
 ) -> CityReport:
     """Run one city churn day (or fraction of one) and report it."""
     from repro.city.model import COMMUTE_WAVE, FLAT_WAVE, CitySpec
@@ -123,8 +147,12 @@ def city_report(
         count_scale=count_scale,
         rebalance_interval_ticks=rebalance_interval_ticks if shards > 1 else 0,
         demand_wave=waves[wave],
-        observability=observability,
+        # Sharded profiling rides the obs span snapshots, so --profile
+        # implies observability there.
+        observability=observability or (profile and shards > 1),
         initial_assignments=initial_assignments,
+        kernel=kernel,
+        profile=profile,
     )
     result = CityWorkload(spec).build().run()
     return CityReport(
@@ -148,4 +176,6 @@ def city_report(
         critical_path_cpu_s=result.critical_path_cpu_s(),
         wall_s=result.wall_s,
         audit_violations=result.audit(),
+        kernel=kernel,
+        profile=result.profile,
     )

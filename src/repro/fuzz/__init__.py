@@ -15,6 +15,7 @@ Entry points: ``repro fuzz`` (CLI), :class:`~repro.fuzz.runner.FuzzRunner`
 
 from repro.fuzz.oracles import (
     OracleReport,
+    run_city_oracles,
     run_oracles,
     scenario_signature,
     signature_digest,
@@ -51,6 +52,7 @@ __all__ = [
     "minimize_spec",
     "replay_corpus",
     "replay_corpus_entry",
+    "run_city_oracles",
     "run_oracles",
     "scenario_signature",
     "signature_digest",

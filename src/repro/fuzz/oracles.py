@@ -194,6 +194,8 @@ def run_oracles(spec: FuzzSpec, dataset=None) -> OracleReport:
     - ``D`` (``dataplane == "batched"``): the event dataplane vs ``B``.
     - ``E`` (collab present but disabled): no collab config vs ``B``.
     """
+    if spec.city is not None:
+        return run_city_oracles(spec)
     report = OracleReport(spec=spec)
     dataset = dataset if dataset is not None else training_dataset(spec)
 
@@ -266,6 +268,63 @@ def run_oracles(spec: FuzzSpec, dataset=None) -> OracleReport:
         if signature_e != signature_b:
             report.failures.append(
                 _diff_hint("collab_disabled_identity", signature_e, signature_b)
+            )
+
+    return report
+
+
+def _city_digest_hint(name: str, left, right) -> str:
+    """Point at the first RSU whose rolling digest diverges."""
+    for rsu in sorted(set(left.digests) | set(right.digests)):
+        if left.digests.get(rsu) != right.digests.get(rsu):
+            return f"{name}: first divergent RSU digest at {rsu!r}"
+    return f"{name}: digest rollups differ"
+
+
+def run_city_oracles(spec: FuzzSpec) -> OracleReport:
+    """The city-workload oracle stack (no training dataset involved).
+
+    - ``A``: serial **fused** run → conservation audit + the canonical
+      digest (the city's per-RSU rollup, not a JSON signature).
+    - ``B``: serial **reference** run → kernel equivalence: the fused
+      arena kernel must reproduce the PR 7 engine's digests bit for bit.
+    - ``C`` (``shards > 1``): the sharded fused engine (with whatever
+      rebalance cadence the spec drew) vs ``A`` — shard-count
+      invariance of the digest rollup, plus its own audit.
+    """
+    from repro.city import run_city
+
+    report = OracleReport(spec=spec)
+
+    report.oracles_run.append("city_conservation_audit")
+    fused = run_city(spec.city_spec(shards=1, kernel="fused"))
+    report.digest = fused.digest_signature()
+    report.failures.extend(
+        f"city_conservation_audit: {violation}"
+        for violation in fused.audit()
+    )
+
+    report.oracles_run.append("city_kernel_equivalence")
+    reference = run_city(spec.city_spec(shards=1, kernel="reference"))
+    if reference.digest_signature() != report.digest:
+        report.failures.append(
+            _city_digest_hint("city_kernel_equivalence", fused, reference)
+        )
+
+    if int(spec.city.get("shards", 1)) > 1:
+        report.oracles_run.append("city_shard_invariance")
+        sharded = run_city(spec.city_spec(kernel="fused"))
+        report.failures.extend(
+            f"city_shard_invariance: {violation}"
+            for violation in sharded.audit()
+        )
+        if sharded.digest_signature() != report.digest:
+            report.failures.append(
+                _city_digest_hint(
+                    f"city_shard_invariance[shards={sharded.n_shards}]",
+                    fused,
+                    sharded,
+                )
             )
 
     return report

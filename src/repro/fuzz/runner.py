@@ -298,6 +298,30 @@ def _still_fails(spec: FuzzSpec) -> Optional[List[str]]:
 
 def _simplifications(spec: FuzzSpec):
     """Candidate one-step simplifications, most structural first."""
+    if spec.city is not None:
+        # City specs shrink along their own axes; the corridor knobs
+        # are already at their defaults and inert.
+        city = dict(spec.city)
+        if city.get("shards", 1) > 1:
+            collapsed = {
+                key: value
+                for key, value in city.items()
+                if key not in ("shards", "rebalance_interval_ticks")
+            }
+            yield spec.replace(city=collapsed)
+        if city.get("rebalance_interval_ticks", 0):
+            yield spec.replace(
+                city={
+                    key: value
+                    for key, value in city.items()
+                    if key != "rebalance_interval_ticks"
+                }
+            )
+        if city.get("duration_s", 600.0) > 600.0:
+            yield spec.replace(city={**city, "duration_s": 600.0})
+        if city.get("count_scale", 0.002) > 0.002:
+            yield spec.replace(city={**city, "count_scale": 0.002})
+        return
     for index in range(len(spec.faults)):
         events = spec.faults[:index] + spec.faults[index + 1 :]
         yield spec.replace(faults=events)

@@ -62,6 +62,14 @@ FAULT_KINDS: Dict[str, Tuple[str, ...]] = {
 
 DATAPLANES = ("event", "batched")
 
+#: City-workload knobs a FuzzSpec may carry (all optional but
+#: ``count_scale``/``duration_s`` which default to the cheapest valid
+#: run).  Bounds keep a generated city point replayable in seconds.
+CITY_KNOBS = ("count_scale", "duration_s", "shards", "rebalance_interval_ticks")
+CITY_MAX_COUNT_SCALE = 0.02
+CITY_MAX_DURATION_S = 14_400.0
+CITY_MAX_SHARDS = 4
+
 
 @dataclass(frozen=True)
 class FuzzSpec:
@@ -91,6 +99,12 @@ class FuzzSpec:
     #: trains byte-identical detectors).
     dataset_seed: int = GOLDEN_DATASET_SEED
     dataset_cars: int = FUZZ_DATASET_CARS
+    #: City-workload knobs (see CITY_KNOBS) — ``None`` keeps the spec a
+    #: corridor scenario.  A city spec swaps the whole oracle stack: the
+    #: corridor axes must stay at their defaults, and the differential
+    #: oracles become fused-vs-reference kernel equivalence plus
+    #: shard-count invariance of the digest rollup.
+    city: Optional[Mapping[str, Any]] = None
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -101,6 +115,9 @@ class FuzzSpec:
         )
         if self.collab is not None:
             object.__setattr__(self, "collab", dict(self.collab))
+        if self.city is not None:
+            object.__setattr__(self, "city", dict(self.city))
+            self._validate_city(self.city)
         if self.motorways < 1:
             raise ValueError("motorways must be >= 1")
         if self.vehicles < 1:
@@ -138,6 +155,38 @@ class FuzzSpec:
         if self.collab is not None:
             # Constructing the config runs its own validation.
             self.collab_config()
+
+    def _validate_city(self, knobs: Mapping[str, Any]) -> None:
+        unknown = sorted(set(knobs) - set(CITY_KNOBS))
+        if unknown:
+            raise ValueError(
+                f"unknown city knobs {unknown}; known: {list(CITY_KNOBS)}"
+            )
+        scale = float(knobs.get("count_scale", 0.002))
+        if not 0.0 < scale <= CITY_MAX_COUNT_SCALE:
+            raise ValueError(
+                f"city count_scale must be in (0, {CITY_MAX_COUNT_SCALE}]"
+            )
+        duration = float(knobs.get("duration_s", 600.0))
+        if not 60.0 <= duration <= CITY_MAX_DURATION_S:
+            raise ValueError(
+                f"city duration_s must be in [60, {CITY_MAX_DURATION_S}]"
+            )
+        shards = int(knobs.get("shards", 1))
+        if not 1 <= shards <= CITY_MAX_SHARDS:
+            raise ValueError(f"city shards must be in [1, {CITY_MAX_SHARDS}]")
+        interval = int(knobs.get("rebalance_interval_ticks", 0))
+        if interval < 0:
+            raise ValueError("city rebalance_interval_ticks must be >= 0")
+        # A city spec replaces the corridor scenario wholesale, so the
+        # corridor-only axes must stay inert.
+        if self.faults or self.collab is not None:
+            raise ValueError("a city spec carries no faults or collab plane")
+        if self.dataplane != "event" or self.shards != 1:
+            raise ValueError(
+                "a city spec keeps the corridor dataplane/shards at their "
+                "defaults; shard count lives inside the city knobs"
+            )
 
     def _validate_fault(self, event: Mapping[str, Any]) -> None:
         kind = event.get("kind")
@@ -290,6 +339,26 @@ class FuzzSpec:
             kwargs["upstream_timeout_s"] = DEFAULT_UPSTREAM_TIMEOUT_S
         kwargs.update(overrides)
         return ScenarioSpec(**kwargs)
+
+    def city_spec(self, **overrides):
+        """The :class:`~repro.city.model.CitySpec` for a city fuzz
+        point; ``overrides`` builds the oracle comparators (``shards=1``,
+        ``kernel="reference"``) of the same generated workload."""
+        if self.city is None:
+            raise ValueError("not a city spec")
+        from repro.city import CitySpec
+
+        kwargs: Dict[str, Any] = {
+            "seed": self.seed,
+            "count_scale": float(self.city.get("count_scale", 0.002)),
+            "duration_s": float(self.city.get("duration_s", 600.0)),
+            "shards": int(self.city.get("shards", 1)),
+            "rebalance_interval_ticks": int(
+                self.city.get("rebalance_interval_ticks", 0)
+            ),
+        }
+        kwargs.update(overrides)
+        return CitySpec(**kwargs)
 
     def build(self, dataset, **overrides):
         """A runnable engine for this spec (spec overrides applied)."""

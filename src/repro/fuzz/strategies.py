@@ -34,7 +34,7 @@ def _hypothesis():
 
 
 #: Feature branches, simplest first (the shrink target is "plain").
-BRANCHES = ("plain", "faults", "batched", "sharded", "collab")
+BRANCHES = ("plain", "faults", "batched", "sharded", "collab", "city")
 
 
 def fuzz_specs(
@@ -92,6 +92,11 @@ def fuzz_specs(
             )
         elif branch == "collab":
             kwargs["collab"] = draw(collab_overrides())
+        elif branch == "city":
+            # A city point replaces the corridor wholesale; every
+            # corridor axis stays at its default so the repro
+            # serializes to just the seed and the city knobs.
+            kwargs = dict(seed=seed, city=draw(city_overrides(max_shards)))
         return FuzzSpec(**kwargs)
 
     return _specs()
@@ -164,6 +169,24 @@ def fault_events(motorways: int, duration_s: float):
         )
         choices.append(kill)
     return st.one_of(choices)
+
+
+def city_overrides(max_shards: int = 2):
+    """Strategy for the city-workload knob dict: tiny scales (tens of
+    RSUs, minutes of simulated time) so the three-run oracle stack —
+    fused, reference, and optionally sharded — replays in seconds.
+    Values are ordered cheapest-first for shrinking."""
+    st = _hypothesis()
+    return st.fixed_dictionaries(
+        {
+            "count_scale": st.sampled_from([0.002, 0.005, 0.01]),
+            "duration_s": st.sampled_from([600.0, 1800.0, 3600.0]),
+        },
+        optional={
+            "shards": st.integers(min_value=2, max_value=min(max_shards, 4)),
+            "rebalance_interval_ticks": st.sampled_from([10, 30]),
+        },
+    )
 
 
 def collab_overrides():

@@ -1,0 +1,199 @@
+"""SegmentArena invariants under random operation sequences.
+
+A Python-side *model* — one ordered list of live ``(id, depart, leave)``
+rows per segment — shadows every operation the fused kernel performs on
+the arena (append, in-place hole stamping, compaction, reserve-driven
+relocation, free, extract).  After every step the arena must (a) pass
+its own structural :meth:`~repro.city.arena.SegmentArena.check` —
+segments and free blocks exactly tile the pool, so the free list can
+never alias a live segment — and (b) :meth:`extract` to exactly the
+model's rows, which pins that no operation ever reorders a segment's
+live rows (the order the detection digests index into).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.city.arena import (
+    DEAD_DEPART,
+    DEAD_LEAVE,
+    MIN_SEGMENT,
+    SegmentArena,
+    segment_ranges,
+)
+
+
+class _Model:
+    """Ordered live rows per handle, mirroring the arena's contract."""
+
+    def __init__(self):
+        self.segments = {}
+        self.next_id = 0
+
+    def rows(self, handle):
+        return self.segments[handle]
+
+
+def _assert_matches(arena, model):
+    arena.check()
+    for handle, rows in model.segments.items():
+        ids, depart, leave = arena.extract(handle)
+        assert list(ids) == [row[0] for row in rows]
+        assert list(depart) == [row[1] for row in rows]
+        assert list(leave) == [row[2] for row in rows]
+        assert int(arena.live[handle]) == len(rows)
+
+
+def _apply(arena, model, rng, op):
+    handles = sorted(model.segments)
+    if op == "alloc" or not handles:
+        handle = arena.alloc(int(rng.integers(1, 3 * MIN_SEGMENT)))
+        model.segments[handle] = []
+        return
+    handle = handles[int(rng.integers(len(handles)))]
+    rows = model.segments[handle]
+    if op == "append":
+        k = int(rng.integers(1, 200))
+        ids = np.arange(model.next_id, model.next_id + k, dtype=np.int64)
+        model.next_id += k
+        depart = rng.uniform(0.0, 1e6, k)
+        leave = rng.uniform(0.0, 1e6, k)
+        arena.append(handle, ids, depart, leave)
+        rows.extend(zip(ids.tolist(), depart.tolist(), leave.tolist()))
+    elif op == "stamp":
+        # In-place retirement, exactly as the fused tick drops rows:
+        # sentinel-stamp a subset of live rows, preserving the rest.
+        if not rows:
+            return
+        k = int(rng.integers(1, len(rows) + 1))
+        victims = set(rng.choice(len(rows), size=k, replace=False).tolist())
+        lo = int(arena.off[handle])
+        n = int(arena.length[handle])
+        window = arena.leave[lo : lo + n]
+        live_pos = np.flatnonzero(window != DEAD_LEAVE)
+        drop = lo + live_pos[sorted(victims)]
+        arena.leave[drop] = DEAD_LEAVE
+        arena.depart[drop] = DEAD_DEPART
+        arena.live[handle] -= k
+        model.segments[handle] = [
+            row for index, row in enumerate(rows) if index not in victims
+        ]
+    elif op == "compact":
+        arena.compact_segment(handle)
+    elif op == "reserve":
+        arena.reserve(handle, int(rng.integers(1, 4 * MIN_SEGMENT)))
+    elif op == "free":
+        arena.free(handle)
+        del model.segments[handle]
+    elif op == "transfer":
+        # The rebalance pack/unpack round trip: extract (holes elided),
+        # free, re-alloc, append — rows must come back bit-identical.
+        ids, depart, leave = arena.extract(handle)
+        arena.free(handle)
+        del model.segments[handle]
+        new_handle = arena.alloc(len(ids))
+        arena.append(new_handle, ids, depart, leave)
+        model.segments[new_handle] = list(
+            zip(ids.tolist(), depart.tolist(), leave.tolist())
+        )
+
+
+OPS = ("alloc", "append", "append", "stamp", "compact", "reserve", "free",
+       "transfer")
+
+
+class TestArenaInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        ops=st.lists(st.sampled_from(OPS), min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_ops_hold_invariants(self, seed, ops):
+        arena = SegmentArena(MIN_SEGMENT)
+        model = _Model()
+        rng = np.random.default_rng(seed)
+        for op in ops:
+            _apply(arena, model, rng, op)
+            _assert_matches(arena, model)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        k=st.integers(min_value=2, max_value=300),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_compaction_preserves_live_row_order(self, seed, k):
+        arena = SegmentArena(MIN_SEGMENT)
+        model = _Model()
+        rng = np.random.default_rng(seed)
+        _apply(arena, model, rng, "alloc")
+        handle = next(iter(model.segments))
+        ids = np.arange(k, dtype=np.int64)
+        depart = rng.uniform(0.0, 1e6, k)
+        leave = rng.uniform(0.0, 1e6, k)
+        arena.append(handle, ids, depart, leave)
+        model.segments[handle] = list(
+            zip(ids.tolist(), depart.tolist(), leave.tolist())
+        )
+        _apply(arena, model, rng, "stamp")
+        survivors_before = arena.extract(handle)
+        arena.compact_segment(handle)
+        survivors_after = arena.extract(handle)
+        for before, after in zip(survivors_before, survivors_after):
+            np.testing.assert_array_equal(before, after)
+        assert int(arena.length[handle]) == int(arena.live[handle])
+        _assert_matches(arena, model)
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_transfer_round_trip_is_bit_identical(self, seed):
+        arena = SegmentArena(MIN_SEGMENT)
+        model = _Model()
+        rng = np.random.default_rng(seed)
+        _apply(arena, model, rng, "alloc")
+        for _ in range(3):
+            _apply(arena, model, rng, "append")
+        _apply(arena, model, rng, "stamp")
+        handle = next(iter(model.segments))
+        packed = arena.extract(handle)
+        _apply(arena, model, rng, "transfer")
+        new_handle = next(iter(model.segments))
+        unpacked = arena.extract(new_handle)
+        for left, right in zip(packed, unpacked):
+            np.testing.assert_array_equal(left, right)
+        _assert_matches(arena, model)
+
+
+class TestSegmentRanges:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10_000),
+                st.integers(min_value=0, max_value=50),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_construction(self, pairs):
+        starts = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        counts = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        expected = np.concatenate(
+            [np.arange(s, s + c, dtype=np.int64) for s, c in pairs]
+        ) if counts.sum() else np.empty(0, dtype=np.int64)
+        np.testing.assert_array_equal(
+            segment_ranges(starts, counts), expected
+        )
+
+
+def test_grow_preserves_rows_and_sentinels():
+    arena = SegmentArena(MIN_SEGMENT)
+    handle = arena.alloc()
+    k = 10 * MIN_SEGMENT  # forces repeated doubling relocations
+    ids = np.arange(k, dtype=np.int64)
+    arena.append(handle, ids, np.full(k, 5.0), np.full(k, 9.0))
+    arena.check()
+    out_ids, out_depart, out_leave = arena.extract(handle)
+    np.testing.assert_array_equal(out_ids, ids)
+    assert arena.grows >= 1 or arena.relocations >= 1
